@@ -1,0 +1,56 @@
+//! Location-based-advertising (LBA) ecosystem substrate.
+//!
+//! Section II of the Edge-PrivLocAd paper describes the business model this
+//! crate implements: *advertisers* register campaigns with a business
+//! location and a targeting radius; the *ad network* matches incoming bid
+//! requests (carrying the user's reported location) against campaign
+//! targeting, runs a second-price auction among matching bidders, and logs
+//! every transaction — the bid log being exactly the observation channel of
+//! the longitudinal attacker.
+//!
+//! Provided pieces:
+//!
+//! - [`platforms`]: the radius-targeting limits of the four platforms
+//!   surveyed in Table I (Google, Microsoft, Facebook, Tencent).
+//! - [`Campaign`] / [`Targeting`]: advertiser campaigns with radius, area,
+//!   or country targeting.
+//! - [`AdNetwork`]: matching and second-price auctions over an inventory.
+//! - [`BidRequest`] / [`BidLog`]: the request stream and the transaction
+//!   log an honest-but-curious observer accumulates, including a compact
+//!   binary wire encoding.
+//! - [`inventory`]: a synthetic campaign generator for the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use privlocad_adnet::{AdNetwork, Campaign, Targeting};
+//! use privlocad_geo::Point;
+//!
+//! let shop = Campaign::new(0, "coffee", Targeting::radius(Point::ORIGIN, 5_000.0)?, 2.5)?;
+//! let far = Campaign::new(1, "gym", Targeting::radius(Point::new(50_000.0, 0.0), 5_000.0)?, 4.0)?;
+//! let network = AdNetwork::new(vec![shop, far]);
+//!
+//! let matches = network.matching(Point::new(1_000.0, 0.0));
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].name(), "coffee");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod areas;
+mod campaign;
+mod error;
+pub mod inventory;
+mod network;
+pub mod platforms;
+mod rtb;
+mod serving;
+
+pub use areas::AreaGrid;
+pub use campaign::{Campaign, CampaignId, Targeting};
+pub use error::AdError;
+pub use network::{AdNetwork, AuctionOutcome};
+pub use rtb::{BidLog, BidLogEntry, BidRequest, DeviceId, WireError};
+pub use serving::{ServingLedger, ServingPolicy, ServingState};

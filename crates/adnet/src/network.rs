@@ -1,0 +1,320 @@
+use privlocad_geo::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::serving::{ServingLedger, ServingPolicy, ServingState};
+use crate::{BidLog, BidLogEntry, BidRequest, Campaign, CampaignId};
+
+/// The result of one second-price auction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionOutcome {
+    /// The winning campaign, cloned out of the inventory.
+    pub winner: Campaign,
+    /// The clearing price: the second-highest bid, or the winner's own bid
+    /// when it was the only matching campaign.
+    pub price: f64,
+}
+
+/// The ad network: matches bid requests against the campaign inventory and
+/// runs second-price auctions (Section II-A's "ads matching &
+/// distribution" role).
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_adnet::{AdNetwork, BidRequest, Campaign, DeviceId, Targeting};
+/// use privlocad_geo::Point;
+///
+/// let network = AdNetwork::new(vec![
+///     Campaign::new(0, "high bidder", Targeting::radius(Point::ORIGIN, 5_000.0)?, 10.0)?,
+///     Campaign::new(1, "low bidder", Targeting::radius(Point::ORIGIN, 5_000.0)?, 4.0)?,
+/// ]);
+/// let req = BidRequest { device: DeviceId::new(1), location: Point::ORIGIN, timestamp: 0 };
+/// let outcome = network.auction(&req).unwrap();
+/// assert_eq!(outcome.winner.name(), "high bidder");
+/// assert_eq!(outcome.price, 4.0); // pays the second price
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdNetwork {
+    campaigns: Vec<Campaign>,
+    log: BidLog,
+    ledger: ServingLedger,
+    area_grid: Option<crate::AreaGrid>,
+    country: u16,
+}
+
+impl AdNetwork {
+    /// Creates a network serving the given inventory with unlimited
+    /// serving policies. Area/country campaigns never match until
+    /// [`AdNetwork::set_area_grid`] / [`AdNetwork::set_country`] configure
+    /// the request-side resolution.
+    pub fn new(campaigns: Vec<Campaign>) -> Self {
+        AdNetwork {
+            campaigns,
+            log: BidLog::new(),
+            ledger: ServingLedger::new(),
+            area_grid: None,
+            country: 0,
+        }
+    }
+
+    /// Configures how reported locations resolve to administrative-area
+    /// ids (enables `Targeting::Area` campaigns).
+    pub fn set_area_grid(&mut self, grid: crate::AreaGrid) {
+        self.area_grid = Some(grid);
+    }
+
+    /// Sets the country id carried by every request (enables
+    /// `Targeting::Country` campaigns).
+    pub fn set_country(&mut self, country: u16) {
+        self.country = country;
+    }
+
+    /// Attaches a budget / frequency-cap policy to a campaign.
+    pub fn set_policy(&mut self, campaign: CampaignId, policy: ServingPolicy) {
+        self.ledger.set_policy(campaign, policy);
+    }
+
+    /// The delivery state (spend, impressions) of a campaign.
+    pub fn serving_state(&self, campaign: CampaignId) -> ServingState {
+        self.ledger.state(campaign)
+    }
+
+    /// The full campaign inventory.
+    pub fn campaigns(&self) -> &[Campaign] {
+        &self.campaigns
+    }
+
+    /// Adds a campaign to the inventory.
+    pub fn register(&mut self, campaign: Campaign) {
+        self.campaigns.push(campaign);
+    }
+
+    /// The campaigns whose targeting matches a request at `location`.
+    /// Radius campaigns match geometrically; area campaigns through the
+    /// configured [`AreaGrid`](crate::AreaGrid); country campaigns through
+    /// the configured country id.
+    pub fn matching(&self, location: Point) -> Vec<&Campaign> {
+        let area = self.area_grid.map_or(0, |g| g.area_of(location));
+        self.campaigns
+            .iter()
+            .filter(|c| c.matches(location, area, self.country))
+            .collect()
+    }
+
+    /// Runs a second-price auction among matching campaigns without
+    /// logging. Returns `None` when nothing matches.
+    ///
+    /// Campaigns over budget or over their per-device frequency cap for
+    /// the requesting device do not participate.
+    pub fn auction(&self, request: &BidRequest) -> Option<AuctionOutcome> {
+        let mut matched: Vec<&Campaign> = self
+            .matching(request.location)
+            .into_iter()
+            .filter(|c| self.ledger.eligible(c.id(), request.device))
+            .collect();
+        if matched.is_empty() {
+            return None;
+        }
+        matched.sort_by(|a, b| {
+            b.bid_cpm()
+                .partial_cmp(&a.bid_cpm())
+                .expect("bids are finite")
+                .then(a.id().cmp(&b.id()))
+        });
+        let winner = matched[0].clone();
+        let price = matched.get(1).map_or(winner.bid_cpm(), |c| c.bid_cpm());
+        Some(AuctionOutcome { winner, price })
+    }
+
+    /// Serves a request end-to-end: runs the auction, appends the
+    /// transaction to the bid log (the longitudinal attacker's feed), and
+    /// returns the outcome.
+    pub fn serve(&mut self, request: BidRequest) -> Option<AuctionOutcome> {
+        let outcome = self.auction(&request);
+        if let Some(o) = &outcome {
+            self.ledger.record(o.winner.id(), request.device, o.price);
+        }
+        self.log.push(BidLogEntry {
+            request,
+            winner: outcome.as_ref().map(|o| o.winner.id()),
+            price: outcome.as_ref().map_or(0.0, |o| o.price),
+        });
+        outcome
+    }
+
+    /// The accumulated transaction log.
+    pub fn log(&self) -> &BidLog {
+        &self.log
+    }
+
+    /// Hands the log to a (simulated) longitudinal observer and clears it.
+    pub fn take_log(&mut self) -> BidLog {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, Targeting};
+
+    fn radius_campaign(id: u64, x: f64, radius: f64, bid: f64) -> Campaign {
+        Campaign::new(
+            id,
+            format!("c{id}"),
+            Targeting::radius(Point::new(x, 0.0), radius).unwrap(),
+            bid,
+        )
+        .unwrap()
+    }
+
+    fn req(x: f64) -> BidRequest {
+        BidRequest { device: DeviceId::new(1), location: Point::new(x, 0.0), timestamp: 0 }
+    }
+
+    #[test]
+    fn matching_respects_radius() {
+        let net = AdNetwork::new(vec![
+            radius_campaign(0, 0.0, 1_000.0, 1.0),
+            radius_campaign(1, 10_000.0, 1_000.0, 1.0),
+        ]);
+        let m = net.matching(Point::new(500.0, 0.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].id().raw(), 0);
+    }
+
+    #[test]
+    fn second_price_auction() {
+        let net = AdNetwork::new(vec![
+            radius_campaign(0, 0.0, 5_000.0, 2.0),
+            radius_campaign(1, 0.0, 5_000.0, 8.0),
+            radius_campaign(2, 0.0, 5_000.0, 5.0),
+        ]);
+        let o = net.auction(&req(0.0)).unwrap();
+        assert_eq!(o.winner.id().raw(), 1);
+        assert_eq!(o.price, 5.0);
+    }
+
+    #[test]
+    fn single_bidder_pays_own_bid() {
+        let net = AdNetwork::new(vec![radius_campaign(0, 0.0, 5_000.0, 3.5)]);
+        let o = net.auction(&req(0.0)).unwrap();
+        assert_eq!(o.price, 3.5);
+    }
+
+    #[test]
+    fn tie_broken_by_campaign_id() {
+        let net = AdNetwork::new(vec![
+            radius_campaign(5, 0.0, 5_000.0, 4.0),
+            radius_campaign(2, 0.0, 5_000.0, 4.0),
+        ]);
+        let o = net.auction(&req(0.0)).unwrap();
+        assert_eq!(o.winner.id().raw(), 2);
+        assert_eq!(o.price, 4.0);
+    }
+
+    #[test]
+    fn no_match_no_outcome_but_logged() {
+        let mut net = AdNetwork::new(vec![radius_campaign(0, 50_000.0, 100.0, 1.0)]);
+        assert!(net.serve(req(0.0)).is_none());
+        assert_eq!(net.log().len(), 1);
+        assert_eq!(net.log().entries()[0].winner, None);
+        assert_eq!(net.log().entries()[0].price, 0.0);
+    }
+
+    #[test]
+    fn serve_logs_reported_location() {
+        let mut net = AdNetwork::new(vec![radius_campaign(0, 0.0, 5_000.0, 1.0)]);
+        net.serve(req(123.0));
+        net.serve(req(456.0));
+        let locs = net.log().locations_of(DeviceId::new(1));
+        assert_eq!(locs, vec![Point::new(123.0, 0.0), Point::new(456.0, 0.0)]);
+    }
+
+    #[test]
+    fn take_log_clears() {
+        let mut net = AdNetwork::new(vec![radius_campaign(0, 0.0, 5_000.0, 1.0)]);
+        net.serve(req(0.0));
+        let log = net.take_log();
+        assert_eq!(log.len(), 1);
+        assert!(net.log().is_empty());
+    }
+
+    #[test]
+    fn area_campaigns_match_through_the_grid() {
+        use crate::{AreaGrid, Targeting};
+        let grid = AreaGrid::new(10_000.0);
+        let downtown = grid.area_of(Point::new(5_000.0, 5_000.0));
+        let mut net = AdNetwork::new(vec![Campaign::new(
+            0u64,
+            "city-wide",
+            Targeting::Area(downtown),
+            3.0,
+        )
+        .unwrap()]);
+        // Without a grid the area campaign never matches.
+        assert!(net.matching(Point::new(5_000.0, 5_000.0)).is_empty());
+        net.set_area_grid(grid);
+        assert_eq!(net.matching(Point::new(5_000.0, 5_000.0)).len(), 1);
+        assert_eq!(net.matching(Point::new(2_000.0, 8_000.0)).len(), 1); // same cell
+        assert!(net.matching(Point::new(15_000.0, 5_000.0)).is_empty()); // next cell
+    }
+
+    #[test]
+    fn country_campaigns_match_after_configuration() {
+        use crate::Targeting;
+        let mut net =
+            AdNetwork::new(vec![Campaign::new(0u64, "national", Targeting::Country(86), 1.0)
+                .unwrap()]);
+        assert!(net.matching(Point::ORIGIN).is_empty());
+        net.set_country(86);
+        assert_eq!(net.matching(Point::ORIGIN).len(), 1);
+        net.set_country(1);
+        assert!(net.matching(Point::ORIGIN).is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_hands_wins_to_the_runner_up() {
+        let mut net = AdNetwork::new(vec![
+            radius_campaign(0, 0.0, 5_000.0, 10.0),
+            radius_campaign(1, 0.0, 5_000.0, 4.0),
+        ]);
+        // The top bidder can afford exactly two second-price (4.0) wins.
+        net.set_policy(CampaignId::new(0), ServingPolicy::unlimited().with_budget(8.0));
+        for _ in 0..2 {
+            let o = net.serve(req(0.0)).unwrap();
+            assert_eq!(o.winner.id().raw(), 0);
+            assert_eq!(o.price, 4.0);
+        }
+        // Budget exhausted: the runner-up now wins at its own bid.
+        let o = net.serve(req(0.0)).unwrap();
+        assert_eq!(o.winner.id().raw(), 1);
+        assert_eq!(o.price, 4.0);
+        assert!((net.serving_state(CampaignId::new(0)).spent() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_cap_applies_per_device() {
+        let mut net = AdNetwork::new(vec![radius_campaign(0, 0.0, 5_000.0, 2.0)]);
+        net.set_policy(CampaignId::new(0), ServingPolicy::unlimited().with_frequency_cap(1));
+        assert!(net.serve(req(0.0)).is_some());
+        assert!(net.serve(req(0.0)).is_none(), "device 1 is capped");
+        let other = BidRequest {
+            device: DeviceId::new(2),
+            location: Point::ORIGIN,
+            timestamp: 0,
+        };
+        assert!(net.serve(other).is_some(), "other devices still served");
+        assert_eq!(net.serving_state(CampaignId::new(0)).total_impressions(), 2);
+    }
+
+    #[test]
+    fn register_extends_inventory() {
+        let mut net = AdNetwork::default();
+        assert!(net.matching(Point::ORIGIN).is_empty());
+        net.register(radius_campaign(0, 0.0, 1_000.0, 1.0));
+        assert_eq!(net.campaigns().len(), 1);
+        assert_eq!(net.matching(Point::ORIGIN).len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+use privlocad_geo::grid::SpatialGrid;
+use privlocad_geo::{centroid, Point};
+
+/// A cluster of check-in indices produced by [`connectivity_clusters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Indices into the input slice, in ascending order.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Number of check-ins in the cluster — the frequency estimate of the
+    /// location profile.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cluster has no members (never produced by
+    /// [`connectivity_clusters`], but useful for callers building clusters
+    /// incrementally).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The centroid of the cluster's members within `points`.
+    ///
+    /// Returns `None` for an empty cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of bounds for `points`.
+    pub fn centroid(&self, points: &[Point]) -> Option<Point> {
+        let pts: Vec<Point> = self.members.iter().map(|&i| points[i]).collect();
+        centroid(&pts)
+    }
+}
+
+/// Partitions `points` into connectivity-based clusters: two check-ins are
+/// *connected* when their Euclidean distance is at most `theta` meters, and
+/// clusters are the connected components of that graph (Algorithm 1, line 2;
+/// also the profiling step of Section III-B with θ = 50 m).
+///
+/// Clusters are returned sorted by size, largest first; ties are broken by
+/// the smallest member index so the output is deterministic.
+///
+/// The implementation unions grid-accelerated neighbor pairs with a
+/// weighted-quick-union disjoint-set, so it runs in near-linear time in the
+/// number of neighbor pairs rather than O(m²) over all check-ins.
+///
+/// # Panics
+///
+/// Panics if `theta` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_attack::connectivity_clusters;
+/// use privlocad_geo::Point;
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(30.0, 0.0),   // chained to the first
+///     Point::new(60.0, 0.0),   // chained through the second
+///     Point::new(500.0, 0.0),  // isolated
+/// ];
+/// let clusters = connectivity_clusters(&pts, 50.0);
+/// assert_eq!(clusters[0].members, vec![0, 1, 2]);
+/// assert_eq!(clusters[1].members, vec![3]);
+/// ```
+pub fn connectivity_clusters(points: &[Point], theta: f64) -> Vec<Cluster> {
+    assert!(theta.is_finite() && theta > 0.0, "theta must be positive and finite");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let grid = SpatialGrid::build(points, theta);
+    let mut dsu = DisjointSet::new(points.len());
+    for i in 0..points.len() {
+        for j in grid.neighbors_within(points[i], theta) {
+            if j > i {
+                dsu.union(i, j);
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for i in 0..points.len() {
+        groups.entry(dsu.find(i)).or_default().push(i);
+    }
+    let mut clusters: Vec<Cluster> = groups
+        .into_values()
+        .map(|mut members| {
+            members.sort_unstable();
+            Cluster { members }
+        })
+        .collect();
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then(a.members[0].cmp(&b.members[0])));
+    clusters
+}
+
+/// Weighted quick-union with path halving.
+#[derive(Debug)]
+struct DisjointSet {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::{gaussian_2d, seeded};
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        assert!(connectivity_clusters(&[], 50.0).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_single_cluster() {
+        let clusters = connectivity_clusters(&[Point::ORIGIN], 50.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, vec![0]);
+    }
+
+    #[test]
+    fn transitive_chaining_joins_clusters() {
+        // 0-1-2 chained at 40 m steps (pairwise 0-2 distance is 80 > θ).
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(80.0, 0.0),
+        ];
+        let clusters = connectivity_clusters(&pts, 50.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distance_exactly_theta_is_connected() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        assert_eq!(connectivity_clusters(&pts, 50.0).len(), 1);
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut rng = seeded(4);
+        let mut pts = Vec::new();
+        for _ in 0..80 {
+            pts.push(Point::new(0.0, 0.0) + gaussian_2d(&mut rng, 10.0));
+        }
+        for _ in 0..40 {
+            pts.push(Point::new(5_000.0, 0.0) + gaussian_2d(&mut rng, 10.0));
+        }
+        let clusters = connectivity_clusters(&pts, 50.0);
+        assert_eq!(clusters[0].len(), 80);
+        assert_eq!(clusters[1].len(), 40);
+        // Largest-first ordering.
+        assert!(clusters[0].len() >= clusters[1].len());
+        // Centroids near the true blob centers.
+        assert!(clusters[0].centroid(&pts).unwrap().distance(Point::ORIGIN) < 10.0);
+        assert!(clusters[1].centroid(&pts).unwrap().distance(Point::new(5_000.0, 0.0)) < 10.0);
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let mut rng = seeded(8);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| gaussian_2d(&mut rng, 2_000.0))
+            .collect();
+        let clusters = connectivity_clusters(&pts, 50.0);
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "index {m} appears twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1_000.0, 0.0),
+            Point::new(2_000.0, 0.0),
+        ];
+        let a = connectivity_clusters(&pts, 50.0);
+        let b = connectivity_clusters(&pts, 50.0);
+        assert_eq!(a, b);
+        // Equal sizes → ordered by smallest member index.
+        assert_eq!(a[0].members, vec![0]);
+        assert_eq!(a[1].members, vec![1]);
+        assert_eq!(a[2].members, vec![2]);
+    }
+
+    #[test]
+    fn cluster_helpers() {
+        let c = Cluster { members: vec![] };
+        assert!(c.is_empty());
+        assert_eq!(c.centroid(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn rejects_bad_theta() {
+        let _ = connectivity_clusters(&[Point::ORIGIN], f64::NAN);
+    }
+}

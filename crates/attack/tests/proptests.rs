@@ -1,0 +1,126 @@
+//! Property-based tests for the attack crate.
+
+use privlocad_attack::evaluation::{rank_distances, AttackStats};
+use privlocad_attack::{
+    connectivity_clusters, AttackConfig, DeobfuscationAttack, InferredLocation, LocationProfile,
+    ProfileEntry,
+};
+use privlocad_geo::Point;
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-20_000.0..20_000.0f64, -20_000.0..20_000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn clusters_partition_input(
+        pts in proptest::collection::vec(point(), 0..120),
+        theta in 1.0..500.0f64,
+    ) {
+        let clusters = connectivity_clusters(&pts, theta);
+        let mut count = 0;
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            prop_assert!(!c.is_empty());
+            for &m in &c.members {
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, pts.len());
+    }
+
+    #[test]
+    fn cluster_sizes_are_sorted_descending(
+        pts in proptest::collection::vec(point(), 1..120),
+        theta in 1.0..500.0f64,
+    ) {
+        let clusters = connectivity_clusters(&pts, theta);
+        for w in clusters.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn larger_theta_never_increases_cluster_count(
+        pts in proptest::collection::vec(point(), 1..80),
+        theta in 10.0..200.0f64,
+    ) {
+        let small = connectivity_clusters(&pts, theta).len();
+        let large = connectivity_clusters(&pts, theta * 2.0).len();
+        prop_assert!(large <= small);
+    }
+
+    #[test]
+    fn profile_total_matches_input_and_frequencies(
+        pts in proptest::collection::vec(point(), 0..120),
+    ) {
+        let p = LocationProfile::from_checkins(&pts, 50.0);
+        prop_assert_eq!(p.total_checkins(), pts.len());
+        let freq_sum: usize = p.iter().map(|e| e.frequency).sum();
+        prop_assert_eq!(freq_sum, pts.len());
+    }
+
+    #[test]
+    fn entropy_nonnegative_and_bounded_by_ln_m(
+        freqs in proptest::collection::vec(1usize..1_000, 1..30),
+    ) {
+        let entries = freqs.iter().enumerate().map(|(i, &f)| ProfileEntry {
+            location: Point::new(i as f64 * 100_000.0, 0.0),
+            frequency: f,
+        });
+        let p = LocationProfile::from_entries(entries);
+        let h = p.entropy();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (p.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn inferred_supports_never_exceed_input(
+        pts in proptest::collection::vec(point(), 1..100),
+        k in 1usize..4,
+        r_alpha in 50.0..2_000.0f64,
+    ) {
+        let attack = DeobfuscationAttack::new(AttackConfig::new(50.0, r_alpha));
+        let inferred = attack.infer_top_locations(&pts, k);
+        prop_assert!(inferred.len() <= k);
+        let support: usize = inferred.iter().map(|i| i.support).sum();
+        prop_assert!(support <= pts.len());
+        for (i, loc) in inferred.iter().enumerate() {
+            prop_assert_eq!(loc.rank, i);
+            prop_assert!(loc.location.is_finite());
+            prop_assert!(loc.support >= 1);
+        }
+    }
+
+    #[test]
+    fn success_rate_monotone_in_threshold(
+        ds in proptest::collection::vec(proptest::option::of(0.0..5_000.0f64), 1..50),
+        t1 in 0.0..2_500.0f64,
+        dt in 0.0..2_500.0f64,
+    ) {
+        let mut stats = AttackStats::new(1);
+        for d in &ds {
+            stats.record(&[*d]);
+        }
+        prop_assert!(stats.success_rate(0, t1) <= stats.success_rate(0, t1 + dt) + 1e-12);
+    }
+
+    #[test]
+    fn rank_distances_len_matches_truth(
+        n_inf in 0usize..5,
+        n_truth in 0usize..5,
+    ) {
+        let inferred: Vec<InferredLocation> = (0..n_inf)
+            .map(|r| InferredLocation { rank: r, location: Point::ORIGIN, support: 1 })
+            .collect();
+        let truth: Vec<Point> = (0..n_truth).map(|i| Point::new(i as f64, 0.0)).collect();
+        let d = rank_distances(&inferred, &truth);
+        prop_assert_eq!(d.len(), n_truth);
+        for (k, v) in d.iter().enumerate() {
+            prop_assert_eq!(v.is_some(), k < n_inf);
+        }
+    }
+}

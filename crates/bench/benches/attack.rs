@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the longitudinal attack pipeline: profiling
+//! (connectivity clustering) and Algorithm 1's top-n inference at
+//! realistic per-user check-in volumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privlocad_attack::{DeobfuscationAttack, LocationProfile};
+use privlocad_geo::{rng::seeded, Point};
+use privlocad_mechanisms::{Lppm, PlanarLaplace, PlanarLaplaceParams};
+
+/// A two-top-location user's obfuscated observation stream.
+fn workload(checkins: usize) -> Vec<Point> {
+    let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
+    let mut rng = seeded(42);
+    let home = Point::new(0.0, 0.0);
+    let office = Point::new(9_000.0, 4_000.0);
+    let mut pts = Vec::with_capacity(checkins);
+    for i in 0..checkins {
+        let place = if i % 3 == 0 { office } else { home };
+        pts.extend(mech.obfuscate(place, &mut rng));
+    }
+    pts
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(20);
+    for m in [500usize, 2_000] {
+        let pts = workload(m);
+        group.bench_with_input(BenchmarkId::new("from_checkins", m), &m, |b, _| {
+            b.iter(|| LocationProfile::from_checkins(std::hint::black_box(&pts), 50.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deobfuscation(c: &mut Criterion) {
+    let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
+    let attack = DeobfuscationAttack::for_planar_laplace(&mech, 0.05).unwrap();
+    let mut group = c.benchmark_group("deobfuscation");
+    group.sample_size(10);
+    for m in [500usize, 2_000] {
+        let pts = workload(m);
+        group.bench_with_input(BenchmarkId::new("top2", m), &m, |b, _| {
+            b.iter(|| attack.infer_top_locations(std::hint::black_box(&pts), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling, bench_deobfuscation);
+criterion_main!(benches);

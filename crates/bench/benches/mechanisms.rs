@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the privacy mechanisms: per-release cost
+//! of the planar Laplace, n-fold Gaussian, and the two baselines, plus the
+//! posterior output selection (the hot path of every ad request).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privlocad_geo::{rng::seeded, Point};
+use privlocad_mechanisms::{
+    GeoIndParams, Lppm, NFoldGaussian, NaivePostProcessing, PlainComposition, PlanarLaplace,
+    PlanarLaplaceParams, PosteriorSelector, SelectionStrategy,
+};
+
+fn bench_planar_laplace(c: &mut Criterion) {
+    let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
+    let mut rng = seeded(1);
+    c.bench_function("planar_laplace/sample", |b| {
+        b.iter(|| mech.sample(std::hint::black_box(Point::new(1.0, 2.0)), &mut rng))
+    });
+}
+
+fn bench_obfuscation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obfuscate");
+    for n in [1usize, 5, 10] {
+        let params = GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap();
+        let mechs: Vec<(&str, Box<dyn Lppm>)> = vec![
+            ("n_fold_gaussian", Box::new(NFoldGaussian::new(params))),
+            ("post_processing", Box::new(NaivePostProcessing::new(params))),
+            ("plain_composition", Box::new(PlainComposition::new(params))),
+        ];
+        for (name, mech) in mechs {
+            let mut rng = seeded(2);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| mech.obfuscate(std::hint::black_box(Point::ORIGIN), &mut rng))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_output_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("output_selection");
+    for n in [5usize, 10, 50] {
+        let params = GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap();
+        let mech = NFoldGaussian::new(params);
+        let mut rng = seeded(3);
+        let candidates = mech.obfuscate(Point::ORIGIN, &mut rng);
+        let selector = PosteriorSelector::new(mech.sigma());
+        group.bench_with_input(BenchmarkId::new("posterior", n), &n, |b, _| {
+            b.iter(|| selector.select(std::hint::black_box(&candidates), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planar_laplace, bench_obfuscation, bench_output_selection);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Tables II and III: edge-device scalability.
+//!
+//! Table II times the periodic batch job "build every user's location
+//! profile and generate candidate locations"; Table III times the
+//! per-request output-selection path, both as a function of the number of
+//! users served by one edge device. The paper measures a Raspberry Pi 3
+//! (340 s → 4,014 s for Table II, 90 ms → 1,377 ms for Table III between
+//! 2,000 and 32,000 users); the reproduction target is the ~linear scaling
+//! shape, not the absolute numbers.
+
+use std::time::Instant;
+
+use privlocad::{EdgeDevice, SystemConfig};
+use privlocad_geo::Point;
+use privlocad_mobility::{PopulationConfig, UserId, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+
+/// Configuration for the scalability experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// User counts to sweep (paper: 2,000 → 32,000 doubling).
+    pub user_counts: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { user_counts: vec![2_000, 4_000, 8_000, 16_000, 32_000], seed: 0 }
+    }
+}
+
+/// One row: the wall-clock time to serve a user count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Number of users.
+    pub users: usize,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Result of a scalability sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Which paper table this reproduces ("II" or "III").
+    pub table: &'static str,
+    /// One row per user count.
+    pub rows: Vec<Row>,
+}
+
+/// Table II: profile building + candidate generation for every user.
+///
+/// Dataset generation is excluded from the timing — the measured section
+/// is exactly the edge's periodic batch job: ingest the window's
+/// check-ins, rebuild the profile, obfuscate new top locations.
+pub fn run_table2(config: &Config) -> Outcome {
+    let max_users = config.user_counts.iter().copied().max().unwrap_or(0);
+    let population = PopulationConfig::builder()
+        .num_users(max_users.max(1))
+        .seed(config.seed)
+        .build();
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let window_secs = sys.window_days() as i64 * SECONDS_PER_DAY;
+
+    let rows = config
+        .user_counts
+        .iter()
+        .map(|&count| {
+            // Pre-generate each user's first-window check-ins (untimed).
+            let windows: Vec<Vec<Point>> = (0..count as u32)
+                .map(|i| {
+                    let trace = population.generate_user(i);
+                    trace
+                        .checkins
+                        .iter()
+                        .filter(|c| c.time.seconds() < window_secs)
+                        .map(|c| c.location)
+                        .collect()
+                })
+                .collect();
+            let mut edge = EdgeDevice::new(sys, config.seed);
+            let start = Instant::now();
+            for (i, window) in windows.iter().enumerate() {
+                let user = UserId::new(i as u32);
+                for &loc in window {
+                    edge.report_checkin(user, loc);
+                }
+                edge.finalize_window(user);
+            }
+            let millis = start.elapsed().as_secs_f64() * 1_000.0;
+            Row { users: count, millis }
+        })
+        .collect();
+    Outcome { table: "II", rows }
+}
+
+/// Table III: one output-selection request per user.
+///
+/// Every user's profile and candidate table are prepared beforehand
+/// (untimed); the measured section is `users` posterior selections.
+pub fn run_table3(config: &Config) -> Outcome {
+    let max_users = config.user_counts.iter().copied().max().unwrap_or(0);
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    // Synthetic homes on a grid: profile content does not matter for the
+    // selection path, only that candidates exist.
+    let mut edge = EdgeDevice::new(sys, config.seed);
+    let homes: Vec<Point> = (0..max_users)
+        .map(|i| Point::new((i % 1_000) as f64 * 1_000.0, (i / 1_000) as f64 * 1_000.0))
+        .collect();
+    for (i, &home) in homes.iter().enumerate() {
+        let user = UserId::new(i as u32);
+        for _ in 0..8 {
+            edge.report_checkin(user, home);
+        }
+        edge.finalize_window(user);
+    }
+
+    let rows = config
+        .user_counts
+        .iter()
+        .map(|&count| {
+            let start = Instant::now();
+            for (i, &home) in homes.iter().take(count).enumerate() {
+                let reported = edge.reported_location(UserId::new(i as u32), home);
+                std::hint::black_box(reported);
+            }
+            let millis = start.elapsed().as_secs_f64() * 1_000.0;
+            Row { users: count, millis }
+        })
+        .collect();
+    Outcome { table: "III", rows }
+}
+
+impl Outcome {
+    /// Renders the paper-style summary table.
+    pub fn table(&self) -> Table {
+        let title = match self.table {
+            "II" => "Table II — obfuscation processing time",
+            _ => "Table III — output selection time",
+        };
+        let mut t = Table::new(title, &["users", "time (ms)"]);
+        for r in &self.rows {
+            t.push_row(vec![r.users.to_string(), format!("{:.1}", r.millis)]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Config {
+        Config { user_counts: vec![50, 200], seed: 1 }
+    }
+
+    #[test]
+    fn table2_time_grows_with_users() {
+        let out = run_table2(&small());
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.rows[0].millis > 0.0);
+        // 4× the users should take clearly more time (loose bound: ≥ 1.5×).
+        assert!(
+            out.rows[1].millis > out.rows[0].millis * 1.5,
+            "{:?}",
+            out.rows
+        );
+    }
+
+    #[test]
+    fn table3_time_grows_with_users() {
+        let out = run_table3(&small());
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.rows[0].millis > 0.0);
+        assert!(out.rows[1].millis > out.rows[0].millis, "{:?}", out.rows);
+    }
+
+    #[test]
+    fn outcome_tables_render() {
+        let out2 = run_table2(&Config { user_counts: vec![20], seed: 0 });
+        assert!(out2.table().render().contains("Table II"));
+        let out3 = run_table3(&Config { user_counts: vec![20], seed: 0 });
+        assert!(out3.table().render().contains("Table III"));
+    }
+}

@@ -1,0 +1,276 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use privlocad_geo::rng::{derive_seed, seeded};
+use privlocad_geo::Point;
+use privlocad_mechanisms::{
+    PlanarLaplace, PosteriorSelector, SelectionStrategy, UniformSelector,
+};
+use privlocad_mobility::UserId;
+
+use crate::{LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
+
+/// Per-user state, independently lockable so requests from different users
+/// never contend.
+#[derive(Debug)]
+struct UserSlot {
+    manager: LocationManager,
+    obfuscation: ObfuscationModule,
+}
+
+impl UserSlot {
+    fn new(config: &SystemConfig) -> Self {
+        UserSlot {
+            manager: LocationManager::new(config.profile_theta_m(), config.eta()),
+            obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
+        }
+    }
+}
+
+/// A thread-shared edge device: many mobile clients (threads) report
+/// check-ins and request obfuscated locations concurrently.
+///
+/// The paper's third design goal is a "scalable and practical
+/// edge-assisted system"; [`crate::EdgeDevice`] is the single-threaded
+/// deterministic core, and this wrapper adds the concurrent serving layer:
+/// a read-mostly user directory (`RwLock`) over independently locked user
+/// slots (`Mutex`), so hot-path requests of different users proceed in
+/// parallel and only directory growth takes the write lock.
+///
+/// Randomness comes from a per-operation RNG derived from an atomic
+/// counter, so concurrent use is safe; unlike [`crate::EdgeDevice`] the
+/// *interleaving* of operations across threads is scheduler-dependent.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad::{SharedEdgeDevice, SystemConfig};
+/// use privlocad_geo::Point;
+/// use privlocad_mobility::UserId;
+///
+/// let edge = SharedEdgeDevice::new(SystemConfig::builder().build()?, 1);
+/// let user = UserId::new(0);
+/// for _ in 0..30 {
+///     edge.report_checkin(user, Point::new(10.0, 10.0));
+/// }
+/// edge.finalize_window(user);
+/// let reported = edge.reported_location(user, Point::new(10.0, 10.0));
+/// assert!(edge.candidates(user, Point::new(10.0, 10.0)).unwrap().contains(&reported));
+/// # Ok::<(), privlocad::SystemError>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedEdgeDevice {
+    config: SystemConfig,
+    nomadic: PlanarLaplace,
+    users: RwLock<HashMap<UserId, Arc<Mutex<UserSlot>>>>,
+    seed: u64,
+    op_counter: AtomicU64,
+}
+
+impl SharedEdgeDevice {
+    /// Creates a shared edge device.
+    pub fn new(config: SystemConfig, seed: u64) -> Self {
+        SharedEdgeDevice {
+            nomadic: PlanarLaplace::new(config.nomadic()),
+            config,
+            users: RwLock::new(HashMap::new()),
+            seed,
+            op_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Number of users with state on this device.
+    pub fn user_count(&self) -> usize {
+        self.users.read().len()
+    }
+
+    fn slot(&self, user: UserId) -> Arc<Mutex<UserSlot>> {
+        if let Some(slot) = self.users.read().get(&user) {
+            return Arc::clone(slot);
+        }
+        let mut map = self.users.write();
+        Arc::clone(
+            map.entry(user)
+                .or_insert_with(|| Arc::new(Mutex::new(UserSlot::new(&self.config)))),
+        )
+    }
+
+    fn op_rng(&self) -> rand::rngs::StdRng {
+        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        seeded(derive_seed(self.seed, op))
+    }
+
+    /// Records a true-location check-in into the user's current window.
+    pub fn report_checkin(&self, user: UserId, true_location: Point) {
+        self.slot(user).lock().manager.record(true_location);
+    }
+
+    /// Closes the user's profile window; returns the number of freshly
+    /// obfuscated top locations.
+    pub fn finalize_window(&self, user: UserId) -> usize {
+        let slot = self.slot(user);
+        let mut state = slot.lock();
+        let tops: Vec<Point> =
+            state.manager.finalize_window().iter().map(|e| e.location).collect();
+        let mut rng = self.op_rng();
+        state.obfuscation.obfuscate_top_set(&tops, &mut rng)
+    }
+
+    /// The permanent candidates covering `location`, if any.
+    pub fn candidates(&self, user: UserId, location: Point) -> Option<Vec<Point>> {
+        let slot = self.users.read().get(&user).map(Arc::clone)?;
+        let state = slot.lock();
+        let top = state
+            .manager
+            .matching_top(location, self.config.top_match_radius_m())?;
+        state.obfuscation.table().get(top).map(<[Point]>::to_vec)
+    }
+
+    /// Produces the location to report for an ad request at
+    /// `current_true` (posterior-selected permanent candidate at top
+    /// locations, one-time Laplace elsewhere).
+    pub fn reported_location(&self, user: UserId, current_true: Point) -> Point {
+        let slot = self.slot(user);
+        let mut state = slot.lock();
+        let mut rng = self.op_rng();
+        match state
+            .manager
+            .matching_top(current_true, self.config.top_match_radius_m())
+        {
+            Some(top) => {
+                let sigma = state.obfuscation.mechanism().sigma();
+                let candidates = state.obfuscation.candidates_for(top, &mut rng).to_vec();
+                let idx = match self.config.selection() {
+                    SelectionKind::Posterior => {
+                        PosteriorSelector::new(sigma).select(&candidates, &mut rng)
+                    }
+                    SelectionKind::Uniform => {
+                        UniformSelector::new().select(&candidates, &mut rng)
+                    }
+                };
+                candidates[idx]
+            }
+            None => self.nomadic.sample(current_true, &mut rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn device() -> Arc<SharedEdgeDevice> {
+        Arc::new(SharedEdgeDevice::new(
+            SystemConfig::builder().build().unwrap(),
+            42,
+        ))
+    }
+
+    #[test]
+    fn serves_a_single_user_like_the_sequential_device() {
+        let edge = device();
+        let user = UserId::new(1);
+        let home = Point::new(500.0, 500.0);
+        for _ in 0..40 {
+            edge.report_checkin(user, home);
+        }
+        assert_eq!(edge.finalize_window(user), 1);
+        let candidates = edge.candidates(user, home).unwrap();
+        assert_eq!(candidates.len(), 10);
+        for _ in 0..20 {
+            assert!(candidates.contains(&edge.reported_location(user, home)));
+        }
+    }
+
+    #[test]
+    fn concurrent_users_do_not_interfere() {
+        let edge = device();
+        let handles: Vec<_> = (0..8u32)
+            .map(|u| {
+                let edge = Arc::clone(&edge);
+                thread::spawn(move || {
+                    let user = UserId::new(u);
+                    let home = Point::new(u as f64 * 5_000.0, 0.0);
+                    for _ in 0..50 {
+                        edge.report_checkin(user, home);
+                    }
+                    edge.finalize_window(user);
+                    let candidates = edge.candidates(user, home).unwrap();
+                    for _ in 0..100 {
+                        assert!(candidates.contains(&edge.reported_location(user, home)));
+                    }
+                    candidates
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Point>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(edge.user_count(), 8);
+        // Every user got their own candidate set.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_to_one_user_stay_within_candidates() {
+        let edge = device();
+        let user = UserId::new(0);
+        let home = Point::ORIGIN;
+        for _ in 0..40 {
+            edge.report_checkin(user, home);
+        }
+        edge.finalize_window(user);
+        let candidates = edge.candidates(user, home).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let edge = Arc::clone(&edge);
+                let candidates = candidates.clone();
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        assert!(candidates.contains(&edge.reported_location(user, home)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn racing_first_contact_creates_one_slot() {
+        let edge = device();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let edge = Arc::clone(&edge);
+                thread::spawn(move || {
+                    edge.report_checkin(UserId::new(7), Point::ORIGIN);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(edge.user_count(), 1);
+        // All eight check-ins landed in the same buffer.
+        assert_eq!(edge.finalize_window(UserId::new(7)), 1);
+    }
+
+    #[test]
+    fn nomadic_fallback_without_state() {
+        let edge = device();
+        let p = edge.reported_location(UserId::new(99), Point::new(1.0, 2.0));
+        assert!(p.is_finite());
+        assert!(edge.candidates(UserId::new(99), Point::new(1.0, 2.0)).is_none());
+    }
+}

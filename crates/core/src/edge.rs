@@ -1,0 +1,409 @@
+use std::collections::HashMap;
+
+use privlocad_adnet::{AdNetwork, AuctionOutcome, BidRequest, Campaign, DeviceId};
+use privlocad_geo::rng::seeded;
+use privlocad_geo::Point;
+use privlocad_mechanisms::{
+    PlanarLaplace, PosteriorSelector, SelectionStrategy, UniformSelector,
+};
+use privlocad_mobility::UserId;
+use rand::rngs::StdRng;
+
+use crate::{filter_ads, LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
+
+/// Per-user state held by the edge device.
+#[derive(Debug, Clone)]
+struct UserState {
+    manager: LocationManager,
+    obfuscation: ObfuscationModule,
+}
+
+impl UserState {
+    fn new(config: &SystemConfig) -> Self {
+        UserState {
+            manager: LocationManager::new(config.profile_theta_m(), config.eta()),
+            obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
+        }
+    }
+}
+
+/// What the edge hands back to the mobile device for one ad request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdDelivery {
+    /// The obfuscated location that was reported to the ad network.
+    pub reported: Point,
+    /// The auction outcome at the ad network, if any campaign matched the
+    /// reported location.
+    pub auction: Option<AuctionOutcome>,
+    /// Ads that survived the edge's AOI filter — what the user actually
+    /// sees.
+    pub delivered: Vec<Campaign>,
+}
+
+/// A trusted edge device serving many users (Fig. 5).
+///
+/// Owns every user's location-management state and obfuscation table, and
+/// performs output selection per ad request. All operations are
+/// deterministic given the construction seed.
+///
+/// For a thread-shared variant used by the scalability evaluation see
+/// [`crate::system::LbaSimulation`] and the `concurrent` integration
+/// tests.
+#[derive(Debug)]
+pub struct EdgeDevice {
+    config: SystemConfig,
+    nomadic: PlanarLaplace,
+    users: HashMap<UserId, UserState>,
+    rng: StdRng,
+}
+
+impl EdgeDevice {
+    /// Creates an edge device.
+    pub fn new(config: SystemConfig, seed: u64) -> Self {
+        EdgeDevice {
+            nomadic: PlanarLaplace::new(config.nomadic()),
+            config,
+            users: HashMap::new(),
+            rng: seeded(seed),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Number of users with state on this device.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    fn state_mut(&mut self, user: UserId) -> &mut UserState {
+        let config = &self.config;
+        self.users.entry(user).or_insert_with(|| UserState::new(config))
+    }
+
+    /// Records a true-location check-in into the user's current profile
+    /// window (the passive collection of Section V-B).
+    pub fn report_checkin(&mut self, user: UserId, true_location: Point) {
+        self.state_mut(user).manager.record(true_location);
+    }
+
+    /// Closes the user's profile window: recomputes the η-frequent
+    /// location set and generates permanent candidates for any new top
+    /// location. Returns the number of freshly obfuscated top locations.
+    pub fn finalize_window(&mut self, user: UserId) -> usize {
+        let state = self.users.entry(user).or_insert_with({
+            let config = &self.config;
+            move || UserState::new(config)
+        });
+        let tops: Vec<Point> =
+            state.manager.finalize_window().iter().map(|e| e.location).collect();
+        state.obfuscation.obfuscate_top_set(&tops, &mut self.rng)
+    }
+
+    /// Closes the user's window and returns the *local* profile without
+    /// obfuscating anything — the first half of the multi-edge flow, where
+    /// a fleet authority merges partial profiles before a single
+    /// obfuscation pass. Returns `None` for unknown users.
+    pub fn close_window_profile(
+        &mut self,
+        user: UserId,
+    ) -> Option<privlocad_attack::LocationProfile> {
+        let state = self.users.get_mut(&user)?;
+        state.manager.finalize_window();
+        Some(state.manager.profile().clone())
+    }
+
+    /// Installs a merged top set plus its (fleet-generated) permanent
+    /// candidate sets — the second half of the multi-edge flow. Candidate
+    /// sets for already-covered locations are ignored (permanence).
+    pub fn install_protection(
+        &mut self,
+        user: UserId,
+        tops: Vec<privlocad_attack::ProfileEntry>,
+        candidate_sets: &[(Point, Vec<Point>)],
+    ) {
+        let config = &self.config;
+        let state = self.users.entry(user).or_insert_with(|| UserState::new(config));
+        state.manager.set_top_set(tops);
+        for (top, candidates) in candidate_sets {
+            state.obfuscation.install(*top, candidates.clone());
+        }
+    }
+
+    /// Closes the window of every known user; returns the total number of
+    /// freshly obfuscated top locations (the Table II workload).
+    pub fn finalize_all(&mut self) -> usize {
+        let users: Vec<UserId> = self.users.keys().copied().collect();
+        users.into_iter().map(|u| self.finalize_window(u)).sum()
+    }
+
+    /// Assesses the longitudinal exposure of a user's last profiled window
+    /// (the "assess the risk of location privacy breaches" role of the
+    /// edge). Returns `None` for unknown users.
+    pub fn risk_report(&self, user: UserId) -> Option<crate::RiskReport> {
+        let state = self.users.get(&user)?;
+        Some(crate::RiskAssessor::default().assess(state.manager.profile()))
+    }
+
+    /// The permanent candidates covering `location`, if the user is at a
+    /// protected top location.
+    pub fn candidates(&self, user: UserId, location: Point) -> Option<Vec<Point>> {
+        let state = self.users.get(&user)?;
+        let top = state.manager.matching_top(location, self.config.top_match_radius_m())?;
+        state.obfuscation.table().get(top).map(<[Point]>::to_vec)
+    }
+
+    /// Produces the location to report for an ad request at
+    /// `current_true`: a posterior-selected permanent candidate when the
+    /// user is at a top location (Algorithm 4), or a fresh one-time
+    /// planar-Laplace obfuscation for nomadic positions.
+    pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
+        let match_radius = self.config.top_match_radius_m();
+        let selection = self.config.selection();
+        let nomadic = self.nomadic;
+        let config = &self.config;
+        let state = self.users.entry(user).or_insert_with(|| UserState::new(config));
+        match state.manager.matching_top(current_true, match_radius) {
+            Some(top) => {
+                let candidates = state.obfuscation.candidates_for(top, &mut self.rng).to_vec();
+                let sigma = state.obfuscation.mechanism().sigma();
+                let idx = match selection {
+                    SelectionKind::Posterior => {
+                        PosteriorSelector::new(sigma).select(&candidates, &mut self.rng)
+                    }
+                    SelectionKind::Uniform => {
+                        UniformSelector::new().select(&candidates, &mut self.rng)
+                    }
+                };
+                candidates[idx]
+            }
+            None => nomadic.sample(current_true, &mut self.rng),
+        }
+    }
+
+    /// Serves one end-to-end ad request: selects the reported location,
+    /// forwards a bid request to the ad network (which logs it — the
+    /// longitudinal attacker's feed), and filters the matching ads down to
+    /// the user's true area of interest.
+    pub fn request_ads(
+        &mut self,
+        user: UserId,
+        current_true: Point,
+        timestamp: i64,
+        network: &mut AdNetwork,
+    ) -> AdDelivery {
+        let reported = self.reported_location(user, current_true);
+        let request = BidRequest {
+            device: DeviceId::new(user.raw() as u64),
+            location: reported,
+            timestamp,
+        };
+        let auction = network.serve(request);
+        let matched: Vec<Campaign> =
+            network.matching(reported).into_iter().cloned().collect();
+        let delivered = filter_ads(&matched, current_true, self.config.targeting_radius_m())
+            .into_iter()
+            .cloned()
+            .collect();
+        AdDelivery { reported, auction, delivered }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_adnet::Targeting;
+    use privlocad_mechanisms::NFoldGaussian;
+
+    fn edge() -> EdgeDevice {
+        EdgeDevice::new(SystemConfig::builder().build().unwrap(), 99)
+    }
+
+    fn settle_home(edge: &mut EdgeDevice, user: UserId, home: Point) {
+        for _ in 0..60 {
+            edge.report_checkin(user, home);
+        }
+        edge.finalize_window(user);
+    }
+
+    #[test]
+    fn top_location_requests_use_permanent_candidates() {
+        let mut e = edge();
+        let user = UserId::new(1);
+        let home = Point::new(1_000.0, 1_000.0);
+        settle_home(&mut e, user, home);
+        let candidates = e.candidates(user, home).unwrap();
+        assert_eq!(candidates.len(), 10);
+        for _ in 0..50 {
+            let reported = e.reported_location(user, home);
+            assert!(candidates.contains(&reported));
+        }
+    }
+
+    #[test]
+    fn nomadic_requests_use_fresh_laplace() {
+        let mut e = edge();
+        let user = UserId::new(2);
+        settle_home(&mut e, user, Point::ORIGIN);
+        let nowhere = Point::new(40_000.0, 40_000.0);
+        let a = e.reported_location(user, nowhere);
+        let b = e.reported_location(user, nowhere);
+        assert_ne!(a, b, "nomadic reports must be independently obfuscated");
+        // Laplace noise at l = ln4, r = 200 keeps reports within a few km.
+        assert!(a.distance(nowhere) < 5_000.0);
+    }
+
+    #[test]
+    fn unknown_user_is_nomadic_by_default() {
+        let mut e = edge();
+        let p = e.reported_location(UserId::new(77), Point::ORIGIN);
+        assert!(p.is_finite());
+        assert!(e.candidates(UserId::new(77), Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn finalize_all_covers_every_user() {
+        let mut e = edge();
+        for u in 0..5u32 {
+            for _ in 0..30 {
+                e.report_checkin(UserId::new(u), Point::new(u as f64 * 10_000.0, 0.0));
+            }
+        }
+        let fresh = e.finalize_all();
+        assert_eq!(fresh, 5);
+        assert_eq!(e.user_count(), 5);
+        // Re-finalizing with no new data generates nothing new.
+        assert_eq!(e.finalize_all(), 0);
+    }
+
+    #[test]
+    fn window_change_keeps_old_candidates_permanent() {
+        let mut e = edge();
+        let user = UserId::new(3);
+        let home = Point::new(500.0, 500.0);
+        settle_home(&mut e, user, home);
+        let before = e.candidates(user, home).unwrap();
+        // Same home appears in the next window: candidates must not change.
+        settle_home(&mut e, user, home);
+        let after = e.candidates(user, home).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reported_candidates_follow_posterior_distribution_bias() {
+        // The candidate closest to the candidate-mean should be reported
+        // most often under posterior selection.
+        let mut e = edge();
+        let user = UserId::new(4);
+        let home = Point::new(0.0, 0.0);
+        settle_home(&mut e, user, home);
+        let candidates = e.candidates(user, home).unwrap();
+        let mech = NFoldGaussian::new(e.config().geo_ind());
+        let probs = PosteriorSelector::new(mech.sigma()).probabilities(&candidates);
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let mut counts = vec![0usize; candidates.len()];
+        for _ in 0..2_000 {
+            let rep = e.reported_location(user, home);
+            let idx = candidates.iter().position(|&c| c == rep).unwrap();
+            counts[idx] += 1;
+        }
+        let observed_best = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(observed_best, best, "counts {counts:?} probs {probs:?}");
+    }
+
+    #[test]
+    fn end_to_end_request_filters_to_aoi() {
+        let mut e = edge();
+        let user = UserId::new(5);
+        let home = Point::new(0.0, 0.0);
+        settle_home(&mut e, user, home);
+        // One campaign right at home, one far outside any plausible AOR.
+        let mut network = AdNetwork::new(vec![
+            Campaign::new(
+                0u64,
+                "local",
+                Targeting::radius(home, 25_000.0).unwrap(),
+                2.0,
+            )
+            .unwrap(),
+            Campaign::new(
+                1u64,
+                "remote",
+                Targeting::radius(Point::new(60_000.0, 60_000.0), 25_000.0).unwrap(),
+                9.0,
+            )
+            .unwrap(),
+        ]);
+        let mut saw_local = false;
+        for t in 0..20 {
+            let delivery = e.request_ads(user, home, t, &mut network);
+            // Everything delivered must be inside the true AOI.
+            for ad in &delivery.delivered {
+                let loc = ad.business_location().unwrap();
+                assert!(loc.distance(home) <= e.config().targeting_radius_m());
+                if ad.name() == "local" {
+                    saw_local = true;
+                }
+            }
+        }
+        assert!(saw_local, "the relevant local ad should be delivered");
+        // The bid log recorded only obfuscated candidates, never `home`.
+        let device = DeviceId::new(5);
+        let reports = network.log().locations_of(device);
+        assert_eq!(reports.len(), 20);
+        let candidates = e.candidates(user, home).unwrap();
+        for r in &reports {
+            assert!(candidates.contains(r), "leaked non-candidate location");
+            assert!(r.distance(home) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_selection_ablation_reports_all_candidates() {
+        let config = SystemConfig::builder()
+            .selection(SelectionKind::Uniform)
+            .build()
+            .unwrap();
+        let mut e = EdgeDevice::new(config, 1);
+        let user = UserId::new(6);
+        let home = Point::ORIGIN;
+        settle_home(&mut e, user, home);
+        let candidates = e.candidates(user, home).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let rep = e.reported_location(user, home);
+            seen.insert(candidates.iter().position(|&c| c == rep).unwrap());
+        }
+        assert_eq!(seen.len(), candidates.len(), "uniform selection should hit all candidates");
+    }
+
+    #[test]
+    fn risk_report_flags_the_routine_home() {
+        let mut e = edge();
+        let user = UserId::new(9);
+        settle_home(&mut e, user, Point::new(100.0, 100.0));
+        let report = e.risk_report(user).unwrap();
+        assert!(report.needs_permanent_protection());
+        assert_eq!(report.flagged().len(), 1);
+        assert!(report.entropy < 0.1, "single-location window");
+        assert!(e.risk_report(UserId::new(12345)).is_none());
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let run = || {
+            let mut e = EdgeDevice::new(SystemConfig::builder().build().unwrap(), 12);
+            let user = UserId::new(0);
+            settle_home(&mut e, user, Point::new(3.0, 4.0));
+            (0..10).map(|_| e.reported_location(user, Point::new(3.0, 4.0))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

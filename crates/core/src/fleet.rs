@@ -1,0 +1,246 @@
+use std::collections::HashMap;
+
+use privlocad_attack::LocationProfile;
+use privlocad_geo::rng::{derive_seed, seeded};
+use privlocad_geo::Point;
+use privlocad_mobility::UserId;
+use rand::rngs::StdRng;
+
+use crate::{frequent_location_set, EdgeDevice, ObfuscationModule, SystemConfig};
+
+/// A fleet of edge devices covering different parts of the city
+/// (Section V-B's multi-edge scenario).
+///
+/// A commuter's check-ins land on whichever edge is nearest, so "the edge
+/// devices can only record a local part of the whole location profile".
+/// At window end the fleet merges the partial profiles, computes the
+/// η-frequent location set over the *merged* profile, generates each new
+/// top location's permanent candidates exactly once, and installs the
+/// result on every edge serving the user — so any edge answers ad requests
+/// consistently and no location's budget is ever spent twice.
+///
+/// (The paper notes the merge could run under MPC for confidentiality
+/// between edges; that protocol is explicitly out of its scope and ours —
+/// we merge in the clear.)
+///
+/// # Examples
+///
+/// ```
+/// use privlocad::{EdgeFleet, SystemConfig};
+/// use privlocad_geo::Point;
+/// use privlocad_mobility::UserId;
+///
+/// let sites = vec![Point::ORIGIN, Point::new(12_000.0, 0.0)];
+/// let mut fleet = EdgeFleet::new(SystemConfig::builder().build()?, sites, 5);
+/// let user = UserId::new(1);
+/// // Home near site 0, office near site 1 — each edge sees half the story.
+/// for _ in 0..40 {
+///     fleet.report_checkin(user, Point::new(100.0, 0.0));
+///     fleet.report_checkin(user, Point::new(11_900.0, 0.0));
+/// }
+/// let fresh = fleet.finalize_user_window(user);
+/// assert_eq!(fresh, 2); // both tops protected from the merged profile
+/// # Ok::<(), privlocad::SystemError>(())
+/// ```
+#[derive(Debug)]
+pub struct EdgeFleet {
+    config: SystemConfig,
+    sites: Vec<Point>,
+    edges: Vec<EdgeDevice>,
+    authorities: HashMap<UserId, ObfuscationModule>,
+    rng: StdRng,
+}
+
+impl EdgeFleet {
+    /// Creates a fleet with one edge device per coverage site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty or contains a non-finite point.
+    pub fn new(config: SystemConfig, sites: Vec<Point>, seed: u64) -> Self {
+        assert!(!sites.is_empty(), "a fleet needs at least one edge site");
+        assert!(sites.iter().all(|s| s.is_finite()), "sites must be finite");
+        let edges = (0..sites.len())
+            .map(|i| EdgeDevice::new(config, derive_seed(seed, i as u64)))
+            .collect();
+        EdgeFleet { config, sites, edges, authorities: HashMap::new(), rng: seeded(seed) }
+    }
+
+    /// Number of edge devices.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` for a fleet without edges (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The index of the edge covering `location` (nearest site).
+    pub fn route(&self, location: Point) -> usize {
+        self.sites
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.distance(location)
+                    .partial_cmp(&b.1.distance(location))
+                    .expect("site distances are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("fleet has at least one site")
+    }
+
+    /// Immutable access to one edge (e.g. for assertions in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn edge(&self, index: usize) -> &EdgeDevice {
+        &self.edges[index]
+    }
+
+    /// Records a check-in on the nearest edge.
+    pub fn report_checkin(&mut self, user: UserId, true_location: Point) {
+        let idx = self.route(true_location);
+        self.edges[idx].report_checkin(user, true_location);
+    }
+
+    /// Closes the user's window fleet-wide: merges the partial profiles,
+    /// recomputes the η-frequent set, generates candidates for *new* top
+    /// locations once, and installs the merged protection on every edge.
+    /// Returns the number of freshly obfuscated top locations.
+    pub fn finalize_user_window(&mut self, user: UserId) -> usize {
+        // 1. Collect and merge partial profiles.
+        let mut merged: Option<LocationProfile> = None;
+        for edge in &mut self.edges {
+            if let Some(profile) = edge.close_window_profile(user) {
+                merged = Some(match merged {
+                    Some(m) => m.merge(&profile, self.config.profile_theta_m()),
+                    None => profile,
+                });
+            }
+        }
+        let Some(merged) = merged else { return 0 };
+
+        // 2. The merged η-frequent set.
+        let tops = frequent_location_set(&merged, self.config.eta());
+
+        // 3. One fleet-level obfuscation authority per user: candidates
+        //    are drawn once, permanently, regardless of which edge asked.
+        let authority = self.authorities.entry(user).or_insert_with(|| {
+            ObfuscationModule::new(self.config.geo_ind(), self.config.top_match_radius_m())
+        });
+        let top_points: Vec<Point> = tops.iter().map(|e| e.location).collect();
+        let fresh = authority.obfuscate_top_set(&top_points, &mut self.rng);
+        let candidate_sets: Vec<(Point, Vec<Point>)> = top_points
+            .iter()
+            .map(|&t| (t, authority.candidates_for(t, &mut self.rng).to_vec()))
+            .collect();
+
+        // 4. Install the merged protection on every edge.
+        for edge in &mut self.edges {
+            edge.install_protection(user, tops.clone(), &candidate_sets);
+        }
+        fresh
+    }
+
+    /// Produces the reported location for an ad request at `current_true`,
+    /// answered by the nearest edge.
+    pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
+        let idx = self.route(current_true);
+        self.edges[idx].reported_location(user, current_true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> EdgeFleet {
+        EdgeFleet::new(
+            SystemConfig::builder().build().unwrap(),
+            vec![Point::ORIGIN, Point::new(12_000.0, 0.0)],
+            9,
+        )
+    }
+
+    #[test]
+    fn routing_picks_the_nearest_site() {
+        let f = fleet();
+        assert_eq!(f.route(Point::new(100.0, 0.0)), 0);
+        assert_eq!(f.route(Point::new(11_000.0, 0.0)), 1);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn partial_profiles_merge_into_full_top_set() {
+        let mut f = fleet();
+        let user = UserId::new(1);
+        let home = Point::new(50.0, 0.0);
+        let office = Point::new(11_950.0, 0.0);
+        for _ in 0..60 {
+            f.report_checkin(user, home);
+        }
+        for _ in 0..40 {
+            f.report_checkin(user, office);
+        }
+        // Each edge alone saw a single location…
+        assert_eq!(f.finalize_user_window(user), 2);
+        // …but after the merge both edges protect both places.
+        for idx in 0..2 {
+            assert!(f.edge(idx).candidates(user, home).is_some(), "edge {idx} home");
+            assert!(f.edge(idx).candidates(user, office).is_some(), "edge {idx} office");
+        }
+    }
+
+    #[test]
+    fn all_edges_answer_with_the_same_candidates() {
+        let mut f = fleet();
+        let user = UserId::new(2);
+        let home = Point::new(10.0, 10.0);
+        for _ in 0..50 {
+            f.report_checkin(user, home);
+        }
+        f.finalize_user_window(user);
+        let from_a = f.edge(0).candidates(user, home).unwrap();
+        let from_b = f.edge(1).candidates(user, home).unwrap();
+        assert_eq!(from_a, from_b, "fleet-wide consistency");
+        // Requests through the fleet use exactly those candidates.
+        for _ in 0..20 {
+            let reported = f.reported_location(user, home);
+            assert!(from_a.contains(&reported));
+        }
+    }
+
+    #[test]
+    fn candidates_are_permanent_across_windows_and_edges() {
+        let mut f = fleet();
+        let user = UserId::new(3);
+        let home = Point::new(0.0, 40.0);
+        for _ in 0..30 {
+            f.report_checkin(user, home);
+        }
+        f.finalize_user_window(user);
+        let before = f.edge(0).candidates(user, home).unwrap();
+        // A later window with the same home (centroid drifts slightly).
+        for _ in 0..30 {
+            f.report_checkin(user, home + Point::new(5.0, -3.0));
+        }
+        let fresh = f.finalize_user_window(user);
+        assert_eq!(fresh, 0, "no re-release for a known top location");
+        assert_eq!(f.edge(1).candidates(user, home).unwrap(), before);
+    }
+
+    #[test]
+    fn unknown_user_finalize_is_a_no_op() {
+        let mut f = fleet();
+        assert_eq!(f.finalize_user_window(UserId::new(99)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge site")]
+    fn rejects_empty_fleet() {
+        let _ = EdgeFleet::new(SystemConfig::builder().build().unwrap(), vec![], 0);
+    }
+}

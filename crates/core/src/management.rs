@@ -1,0 +1,250 @@
+use privlocad_attack::{LocationProfile, ProfileEntry};
+use privlocad_geo::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::EtaThreshold;
+
+/// Computes the η-frequent location set (Definition 6, Algorithm 2): the
+/// minimal prefix of the frequency-ordered profile whose cumulative
+/// frequency reaches the resolved η.
+///
+/// Returns the whole profile if even that does not reach η (e.g. η larger
+/// than the window's total check-ins).
+///
+/// # Examples
+///
+/// ```
+/// use privlocad::{frequent_location_set, EtaThreshold};
+/// use privlocad_attack::{LocationProfile, ProfileEntry};
+/// use privlocad_geo::Point;
+///
+/// let profile = LocationProfile::from_entries([
+///     ProfileEntry { location: Point::new(0.0, 0.0), frequency: 70 },
+///     ProfileEntry { location: Point::new(9_000.0, 0.0), frequency: 20 },
+///     ProfileEntry { location: Point::new(0.0, 9_000.0), frequency: 10 },
+/// ]);
+/// let tops = frequent_location_set(&profile, EtaThreshold::Fraction(0.85));
+/// assert_eq!(tops.len(), 2); // 70 + 20 = 90 ≥ 85
+/// ```
+pub fn frequent_location_set(profile: &LocationProfile, eta: EtaThreshold) -> Vec<ProfileEntry> {
+    let target = eta.resolve(profile.total_checkins());
+    let mut total = 0usize;
+    let mut set = Vec::new();
+    for entry in profile.iter() {
+        total += entry.frequency;
+        set.push(*entry);
+        if total >= target {
+            break;
+        }
+    }
+    set
+}
+
+/// The location-management module of one user on the edge device.
+///
+/// Buffers the current window's check-ins; on window end
+/// ([`LocationManager::finalize_window`]) rebuilds the profile and the
+/// η-frequent location set. The set is re-computed periodically "since
+/// users will possibly (although not frequently) change their top
+/// locations in real life" (Section V-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationManager {
+    theta_m: f64,
+    eta: EtaThreshold,
+    buffer: Vec<Point>,
+    profile: LocationProfile,
+    top_set: Vec<ProfileEntry>,
+    windows_closed: usize,
+}
+
+impl LocationManager {
+    /// Creates a manager with profiling threshold `theta_m` (meters) and
+    /// the η policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta_m` is not positive and finite.
+    pub fn new(theta_m: f64, eta: EtaThreshold) -> Self {
+        assert!(theta_m.is_finite() && theta_m > 0.0, "theta must be positive and finite");
+        LocationManager {
+            theta_m,
+            eta,
+            buffer: Vec::new(),
+            profile: LocationProfile::default(),
+            top_set: Vec::new(),
+            windows_closed: 0,
+        }
+    }
+
+    /// Buffers one true-location check-in for the current window.
+    pub fn record(&mut self, location: Point) {
+        self.buffer.push(location);
+    }
+
+    /// Number of check-ins buffered in the current (open) window.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Closes the window: rebuilds the profile from the buffered check-ins
+    /// and recomputes the η-frequent location set. Returns the new set.
+    ///
+    /// An empty window leaves the previous profile in place.
+    pub fn finalize_window(&mut self) -> &[ProfileEntry] {
+        if !self.buffer.is_empty() {
+            self.profile = LocationProfile::from_checkins(&self.buffer, self.theta_m);
+            self.top_set = frequent_location_set(&self.profile, self.eta);
+            self.buffer.clear();
+        }
+        self.windows_closed += 1;
+        &self.top_set
+    }
+
+    /// The current η-frequent location set (empty before the first window
+    /// closes).
+    pub fn top_set(&self) -> &[ProfileEntry] {
+        &self.top_set
+    }
+
+    /// The last computed profile.
+    pub fn profile(&self) -> &LocationProfile {
+        &self.profile
+    }
+
+    /// How many windows have been finalized.
+    pub fn windows_closed(&self) -> usize {
+        self.windows_closed
+    }
+
+    /// Replaces the current η-frequent location set.
+    ///
+    /// Used by the multi-edge flow of Section V-B: each edge records only a
+    /// *local* part of the profile; after the partial profiles are merged,
+    /// the merged top set is installed back into every edge serving the
+    /// user so any of them answers ad requests consistently.
+    pub fn set_top_set(&mut self, tops: Vec<ProfileEntry>) {
+        self.top_set = tops;
+    }
+
+    /// Finds the top location nearest to `location` within `match_radius_m`
+    /// meters, if any — the edge's check for "is the user at a protected
+    /// top location right now?".
+    pub fn matching_top(&self, location: Point, match_radius_m: f64) -> Option<Point> {
+        self.top_set
+            .iter()
+            .map(|e| e.location)
+            .filter(|t| t.distance(location) <= match_radius_m)
+            .min_by(|a, b| {
+                a.distance(location)
+                    .partial_cmp(&b.distance(location))
+                    .expect("distances are finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(x: f64, f: usize) -> ProfileEntry {
+        ProfileEntry { location: Point::new(x, 0.0), frequency: f }
+    }
+
+    #[test]
+    fn frequent_set_minimal_prefix() {
+        let p = LocationProfile::from_entries([entry(0.0, 50), entry(1.0, 30), entry(2.0, 20)]);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Count(50)).len(), 1);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Count(51)).len(), 2);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Count(80)).len(), 2);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Count(81)).len(), 3);
+    }
+
+    #[test]
+    fn frequent_set_with_fraction() {
+        let p = LocationProfile::from_entries([entry(0.0, 70), entry(1.0, 20), entry(2.0, 10)]);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Fraction(0.7)).len(), 1);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Fraction(0.9)).len(), 2);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Fraction(1.0)).len(), 3);
+    }
+
+    #[test]
+    fn unreachable_eta_returns_everything() {
+        let p = LocationProfile::from_entries([entry(0.0, 5)]);
+        assert_eq!(frequent_location_set(&p, EtaThreshold::Count(100)).len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_empty_set() {
+        let p = LocationProfile::default();
+        assert!(frequent_location_set(&p, EtaThreshold::Count(1)).is_empty());
+    }
+
+    #[test]
+    fn manager_window_lifecycle() {
+        let mut m = LocationManager::new(50.0, EtaThreshold::Fraction(0.8));
+        assert!(m.top_set().is_empty());
+        assert_eq!(m.pending(), 0);
+        for _ in 0..80 {
+            m.record(Point::new(0.0, 0.0));
+        }
+        for _ in 0..20 {
+            m.record(Point::new(9_000.0, 0.0));
+        }
+        assert_eq!(m.pending(), 100);
+        let tops = m.finalize_window().to_vec();
+        assert_eq!(m.pending(), 0);
+        assert_eq!(m.windows_closed(), 1);
+        assert_eq!(tops.len(), 1); // 80 ≥ 0.8·100
+        assert!(tops[0].location.distance(Point::ORIGIN) < 1.0);
+        assert_eq!(m.profile().len(), 2);
+    }
+
+    #[test]
+    fn empty_window_keeps_previous_profile() {
+        let mut m = LocationManager::new(50.0, EtaThreshold::Fraction(0.5));
+        m.record(Point::ORIGIN);
+        m.finalize_window();
+        let before = m.top_set().to_vec();
+        m.finalize_window(); // nothing buffered
+        assert_eq!(m.top_set(), before.as_slice());
+        assert_eq!(m.windows_closed(), 2);
+    }
+
+    #[test]
+    fn new_window_replaces_profile() {
+        let mut m = LocationManager::new(50.0, EtaThreshold::Fraction(0.9));
+        for _ in 0..10 {
+            m.record(Point::new(0.0, 0.0));
+        }
+        m.finalize_window();
+        assert!(m.matching_top(Point::ORIGIN, 200.0).is_some());
+        // User moved: next window is all at a new home.
+        for _ in 0..10 {
+            m.record(Point::new(20_000.0, 0.0));
+        }
+        m.finalize_window();
+        assert!(m.matching_top(Point::ORIGIN, 200.0).is_none());
+        assert!(m.matching_top(Point::new(20_000.0, 0.0), 200.0).is_some());
+    }
+
+    #[test]
+    fn matching_top_picks_nearest() {
+        let mut m = LocationManager::new(50.0, EtaThreshold::Fraction(1.0));
+        for _ in 0..10 {
+            m.record(Point::new(0.0, 0.0));
+        }
+        for _ in 0..10 {
+            m.record(Point::new(300.0, 0.0));
+        }
+        m.finalize_window();
+        let top = m.matching_top(Point::new(290.0, 0.0), 200.0).unwrap();
+        assert!(top.distance(Point::new(300.0, 0.0)) < 1.0);
+        assert!(m.matching_top(Point::new(150.0, 5_000.0), 200.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn rejects_bad_theta() {
+        let _ = LocationManager::new(0.0, EtaThreshold::Count(1));
+    }
+}

@@ -1,0 +1,422 @@
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use privlocad_geo::Point;
+use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The obfuscation table `T` of Section V-C: a permanent map from each top
+/// location to its released candidate set.
+///
+/// Lookups match by *proximity*, not exact coordinates: profile centroids
+/// drift by a few meters between windows (GPS jitter averages differently
+/// over different check-in samples), and minting a fresh candidate set for
+/// every drifted centroid would quietly release extra obfuscations of the
+/// same place — exactly the longitudinal leak the system exists to stop.
+/// Any top location within the table's `match_radius_m` of a recorded one
+/// re-uses the recorded candidates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObfuscationTable {
+    match_radius_m: f64,
+    entries: Vec<(Point, Vec<Point>)>,
+}
+
+impl ObfuscationTable {
+    /// Creates an empty table with the given proximity-match radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `match_radius_m` is not positive and finite.
+    pub fn new(match_radius_m: f64) -> Self {
+        assert!(
+            match_radius_m.is_finite() && match_radius_m > 0.0,
+            "match radius must be positive and finite"
+        );
+        ObfuscationTable { match_radius_m, entries: Vec::new() }
+    }
+
+    /// The proximity-match radius in meters.
+    pub fn match_radius_m(&self) -> f64 {
+        self.match_radius_m
+    }
+
+    /// Looks up the permanent candidates covering `location`: the nearest
+    /// recorded top within the match radius.
+    pub fn get(&self, location: Point) -> Option<&[Point]> {
+        self.entries
+            .iter()
+            .filter(|(top, _)| top.distance(location) <= self.match_radius_m)
+            .min_by(|(a, _), (b, _)| {
+                a.distance(location)
+                    .partial_cmp(&b.distance(location))
+                    .expect("distances are finite")
+            })
+            .map(|(_, candidates)| candidates.as_slice())
+    }
+
+    /// Returns `true` if `location` is covered by a recorded top location.
+    pub fn contains(&self, location: Point) -> bool {
+        self.get(location).is_some()
+    }
+
+    /// Records the candidates of a *new* top location.
+    ///
+    /// If `location` is already covered, the existing set is kept — once
+    /// released, a candidate set is permanent — and `false` is returned.
+    pub fn insert(&mut self, location: Point, candidates: Vec<Point>) -> bool {
+        if self.contains(location) {
+            return false;
+        }
+        self.entries.push((location, candidates));
+        true
+    }
+
+    /// Number of protected top locations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no location is protected yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the table to a compact binary image.
+    ///
+    /// **Permanence across restarts is a privacy property**: if the table
+    /// is lost, the next window would draw *fresh* candidates for the same
+    /// top locations, silently spending a second `(r, ε, δ, n)` budget. An
+    /// edge deployment must persist this image durably and restore it with
+    /// [`ObfuscationTable::decode`] on startup.
+    pub fn encode(&self) -> Bytes {
+        let candidate_count: usize = self.entries.iter().map(|(_, c)| c.len()).sum();
+        let mut buf =
+            BytesMut::with_capacity(16 + self.entries.len() * 24 + candidate_count * 16);
+        buf.put_f64(self.match_radius_m);
+        buf.put_u32(self.entries.len() as u32);
+        for (top, candidates) in &self.entries {
+            buf.put_f64(top.x);
+            buf.put_f64(top.y);
+            buf.put_u32(candidates.len() as u32);
+            for c in candidates {
+                buf.put_f64(c.x);
+                buf.put_f64(c.y);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores a table from its binary image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableDecodeError`] on truncated input or an invalid match
+    /// radius.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, TableDecodeError> {
+        let need = |buf: &[u8], n: usize| {
+            if buf.len() < n {
+                Err(TableDecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(buf, 12)?;
+        let match_radius_m = buf.get_f64();
+        if !match_radius_m.is_finite() || match_radius_m <= 0.0 {
+            return Err(TableDecodeError::InvalidRadius(match_radius_m));
+        }
+        let entry_count = buf.get_u32() as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(1_024));
+        for _ in 0..entry_count {
+            need(buf, 20)?;
+            let top = Point::new(buf.get_f64(), buf.get_f64());
+            let candidate_count = buf.get_u32() as usize;
+            need(buf, candidate_count.saturating_mul(16))?;
+            let candidates = (0..candidate_count)
+                .map(|_| Point::new(buf.get_f64(), buf.get_f64()))
+                .collect();
+            entries.push((top, candidates));
+        }
+        Ok(ObfuscationTable { match_radius_m, entries })
+    }
+}
+
+/// Error restoring an [`ObfuscationTable`] from its binary image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TableDecodeError {
+    /// The image ends before the declared content.
+    Truncated,
+    /// The stored match radius is not positive and finite.
+    InvalidRadius(f64),
+}
+
+impl std::fmt::Display for TableDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableDecodeError::Truncated => write!(f, "truncated obfuscation-table image"),
+            TableDecodeError::InvalidRadius(r) => {
+                write!(f, "stored match radius {r} is invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableDecodeError {}
+
+/// The location-obfuscation module: the n-fold Gaussian mechanism plus the
+/// permanent obfuscation table.
+///
+/// The first time a top location is seen, `n` candidates are drawn
+/// (spending the one-and-only `(r, ε, δ, n)` budget for that location);
+/// every later request re-uses them, so a longitudinal observer's view
+/// stops gaining information after the first release.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad::ObfuscationModule;
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::GeoIndParams;
+///
+/// let params = GeoIndParams::new(500.0, 1.0, 0.01, 10)?;
+/// let mut module = ObfuscationModule::new(params, 200.0);
+/// let mut rng = seeded(1);
+/// let home = Point::new(1_000.0, 2_000.0);
+/// let first = module.candidates_for(home, &mut rng).to_vec();
+/// let again = module.candidates_for(home, &mut rng).to_vec();
+/// assert_eq!(first, again); // permanent
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObfuscationModule {
+    mechanism: NFoldGaussian,
+    table: ObfuscationTable,
+}
+
+impl ObfuscationModule {
+    /// Creates the module with a fresh table using `match_radius_m` for
+    /// proximity lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `match_radius_m` is not positive and finite.
+    pub fn new(params: GeoIndParams, match_radius_m: f64) -> Self {
+        ObfuscationModule {
+            mechanism: NFoldGaussian::new(params),
+            table: ObfuscationTable::new(match_radius_m),
+        }
+    }
+
+    /// The underlying mechanism.
+    pub fn mechanism(&self) -> &NFoldGaussian {
+        &self.mechanism
+    }
+
+    /// The obfuscation table.
+    pub fn table(&self) -> &ObfuscationTable {
+        &self.table
+    }
+
+    /// Returns the permanent candidates covering `top`, generating them on
+    /// first use.
+    pub fn candidates_for(&mut self, top: Point, rng: &mut dyn RngCore) -> &[Point] {
+        if !self.table.contains(top) {
+            let candidates = self.mechanism.obfuscate(top, rng);
+            self.table.insert(top, candidates);
+        }
+        self.table.get(top).expect("covered after insert")
+    }
+
+    /// Restores the module from a persisted table image (see
+    /// [`ObfuscationTable::encode`] for why persistence matters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableDecodeError`] from the image.
+    pub fn with_restored_table(
+        params: GeoIndParams,
+        image: &[u8],
+    ) -> Result<Self, TableDecodeError> {
+        Ok(ObfuscationModule {
+            mechanism: NFoldGaussian::new(params),
+            table: ObfuscationTable::decode(image)?,
+        })
+    }
+
+    /// Installs an externally generated candidate set (e.g. one produced
+    /// by a fleet-level authority and distributed to every edge serving
+    /// the user). Returns `false` — keeping the existing set — if the
+    /// location is already covered.
+    pub fn install(&mut self, top: Point, candidates: Vec<Point>) -> bool {
+        self.table.insert(top, candidates)
+    }
+
+    /// Ensures every location in `tops` is covered; returns how many new
+    /// candidate sets were generated (the Table II workload per user).
+    pub fn obfuscate_top_set(&mut self, tops: &[Point], rng: &mut dyn RngCore) -> usize {
+        let mut fresh = 0;
+        for &top in tops {
+            if !self.table.contains(top) {
+                let candidates = self.mechanism.obfuscate(top, rng);
+                self.table.insert(top, candidates);
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::seeded;
+
+    fn module(n: usize) -> ObfuscationModule {
+        ObfuscationModule::new(GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap(), 200.0)
+    }
+
+    #[test]
+    fn candidates_are_permanent() {
+        let mut m = module(10);
+        let mut rng = seeded(2);
+        let a = m.candidates_for(Point::new(5.0, 5.0), &mut rng).to_vec();
+        let b = m.candidates_for(Point::new(5.0, 5.0), &mut rng).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(m.table().len(), 1);
+    }
+
+    #[test]
+    fn drifted_centroids_reuse_candidates() {
+        // The same home profiled in two windows: centroid drifts by a few
+        // meters, candidates must not be re-released.
+        let mut m = module(10);
+        let mut rng = seeded(3);
+        let a = m.candidates_for(Point::new(100.0, 100.0), &mut rng).to_vec();
+        let b = m.candidates_for(Point::new(108.0, 95.0), &mut rng).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(m.table().len(), 1);
+    }
+
+    #[test]
+    fn distant_locations_get_their_own_sets() {
+        let mut m = module(3);
+        let mut rng = seeded(4);
+        let a = m.candidates_for(Point::new(0.0, 0.0), &mut rng).to_vec();
+        let c = m.candidates_for(Point::new(500.0, 0.0), &mut rng).to_vec();
+        assert_ne!(a, c);
+        assert_eq!(m.table().len(), 2);
+    }
+
+    #[test]
+    fn get_picks_nearest_covering_entry() {
+        let mut t = ObfuscationTable::new(200.0);
+        t.insert(Point::new(0.0, 0.0), vec![Point::new(1.0, 0.0)]);
+        t.insert(Point::new(300.0, 0.0), vec![Point::new(2.0, 0.0)]);
+        let got = t.get(Point::new(180.0, 0.0)).unwrap();
+        assert_eq!(got, &[Point::new(2.0, 0.0)]); // 120 m away beats 180 m
+        assert!(t.get(Point::new(600.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn insert_never_overwrites_covered_locations() {
+        let mut t = ObfuscationTable::new(200.0);
+        assert!(t.insert(Point::ORIGIN, vec![Point::new(1.0, 1.0)]));
+        assert!(!t.insert(Point::new(10.0, 0.0), vec![Point::new(9.0, 9.0)]));
+        assert_eq!(t.get(Point::ORIGIN).unwrap(), &[Point::new(1.0, 1.0)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn obfuscate_top_set_counts_fresh_only() {
+        let mut m = module(2);
+        let mut rng = seeded(4);
+        let tops = [Point::new(0.0, 0.0), Point::new(8_000.0, 0.0)];
+        assert_eq!(m.obfuscate_top_set(&tops, &mut rng), 2);
+        assert_eq!(m.obfuscate_top_set(&tops, &mut rng), 0);
+        let more = [Point::new(20.0, 0.0), Point::new(0.0, 8_000.0)];
+        assert_eq!(m.obfuscate_top_set(&more, &mut rng), 1);
+        assert_eq!(m.table().len(), 3);
+    }
+
+    #[test]
+    fn empty_table_queries() {
+        let t = ObfuscationTable::new(200.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.get(Point::ORIGIN).is_none());
+        assert!(!t.contains(Point::ORIGIN));
+        assert_eq!(t.match_radius_m(), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match radius must be positive")]
+    fn rejects_bad_match_radius() {
+        let _ = ObfuscationTable::new(f64::NAN);
+    }
+
+    #[test]
+    fn table_image_round_trips() {
+        let mut m = module(4);
+        let mut rng = seeded(9);
+        m.candidates_for(Point::new(0.0, 0.0), &mut rng);
+        m.candidates_for(Point::new(9_000.0, -3.5), &mut rng);
+        let image = m.table().encode();
+        let restored = ObfuscationTable::decode(&image).unwrap();
+        assert_eq!(&restored, m.table());
+    }
+
+    #[test]
+    fn restored_module_does_not_re_release() {
+        // The privacy point of persistence: after a restart the same top
+        // location yields the SAME candidates, not fresh ones.
+        let params = GeoIndParams::new(500.0, 1.0, 0.01, 10).unwrap();
+        let mut m = ObfuscationModule::new(params, 200.0);
+        let mut rng = seeded(10);
+        let before = m.candidates_for(Point::new(1.0, 2.0), &mut rng).to_vec();
+        let image = m.table().encode();
+        let mut restored = ObfuscationModule::with_restored_table(params, &image).unwrap();
+        let after = restored.candidates_for(Point::new(1.0, 2.0), &mut rng).to_vec();
+        assert_eq!(before, after);
+        assert_eq!(restored.obfuscate_top_set(&[Point::new(1.0, 2.0)], &mut rng), 0);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_images() {
+        let mut m = module(2);
+        let mut rng = seeded(11);
+        m.candidates_for(Point::ORIGIN, &mut rng);
+        let image = m.table().encode();
+        assert_eq!(
+            ObfuscationTable::decode(&image[..image.len() - 1]),
+            Err(TableDecodeError::Truncated)
+        );
+        assert_eq!(ObfuscationTable::decode(&[]), Err(TableDecodeError::Truncated));
+        // Corrupt the radius field (first 8 bytes) to NaN.
+        let mut bad = image.to_vec();
+        bad[..8].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert!(matches!(
+            ObfuscationTable::decode(&bad),
+            Err(TableDecodeError::InvalidRadius(_))
+        ));
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = ObfuscationTable::new(150.0);
+        let restored = ObfuscationTable::decode(&t.encode()).unwrap();
+        assert_eq!(restored, t);
+        assert_eq!(restored.match_radius_m(), 150.0);
+    }
+
+    #[test]
+    fn candidates_are_centered_near_the_top_statistically() {
+        let mut m = module(200);
+        let mut rng = seeded(5);
+        let top = Point::new(1_000.0, -2_000.0);
+        let cands = m.candidates_for(top, &mut rng);
+        let mean = privlocad_geo::centroid(cands).unwrap();
+        // With 200 candidates the sample mean should be within ~3σ/√200.
+        let tol = 3.0 * m.mechanism().sigma() / (200f64).sqrt();
+        assert!(mean.distance(top) < tol, "mean off by {}", mean.distance(top));
+    }
+}

@@ -1,0 +1,307 @@
+//! The client ↔ edge wire protocol.
+//!
+//! Edge-PrivLocAd's deployment separates the mobile client from the edge
+//! device; this module defines the message set exchanged between them and
+//! a compact binary framing so the pair can run over any byte transport.
+//! [`EdgeHandle`](crate::EdgeHandle) (the client side) and
+//! [`EdgeServer`](crate::EdgeServer) implement the two endpoints over an
+//! in-process channel; a production deployment would move the same frames
+//! over the radio link.
+//!
+//! Frames are length-free (fixed layout per message type) with a one-byte
+//! tag, all integers big-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use privlocad_geo::Point;
+use privlocad_mobility::UserId;
+use serde::{Deserialize, Serialize};
+
+/// A client → edge request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Passively report a true-location check-in (no response expected).
+    CheckIn {
+        /// The reporting user.
+        user: UserId,
+        /// True location in study-plane meters.
+        location: Point,
+        /// Seconds since the study epoch.
+        timestamp: i64,
+    },
+    /// Ask the edge which location to report for an LBA request.
+    RequestLocation {
+        /// The requesting user.
+        user: UserId,
+        /// Current true location.
+        location: Point,
+    },
+    /// Ask the edge to close the user's profile window now.
+    FinalizeWindow {
+        /// The user whose window closes.
+        user: UserId,
+    },
+    /// Orderly shutdown of the serving loop.
+    Shutdown,
+}
+
+/// An edge → client response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeResponse {
+    /// The obfuscated location to use for the LBA request.
+    ReportedLocation {
+        /// The location to send to the ad network.
+        location: Point,
+    },
+    /// Window closed; how many top locations were freshly obfuscated.
+    WindowClosed {
+        /// Newly protected top locations.
+        fresh_obfuscations: u32,
+    },
+    /// Acknowledgement without payload (check-ins, shutdown).
+    Ack,
+}
+
+/// Error decoding a protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer is shorter than the frame layout requires.
+    Truncated {
+        /// Bytes required by the tag's layout.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The leading tag byte is not a known message type.
+    UnknownTag(u8),
+    /// The buffer is empty.
+    Empty,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            FrameError::Empty => write!(f, "empty frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const TAG_CHECK_IN: u8 = 0x01;
+const TAG_REQUEST_LOCATION: u8 = 0x02;
+const TAG_FINALIZE: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_REPORTED: u8 = 0x81;
+const TAG_WINDOW_CLOSED: u8 = 0x82;
+const TAG_ACK: u8 = 0x83;
+
+fn need(buf: &[u8], needed: usize) -> Result<(), FrameError> {
+    if buf.len() < needed {
+        Err(FrameError::Truncated { needed, got: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+impl ClientRequest {
+    /// Encodes the request into its wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(29);
+        match *self {
+            ClientRequest::CheckIn { user, location, timestamp } => {
+                buf.put_u8(TAG_CHECK_IN);
+                buf.put_u32(user.raw());
+                buf.put_f64(location.x);
+                buf.put_f64(location.y);
+                buf.put_i64(timestamp);
+            }
+            ClientRequest::RequestLocation { user, location } => {
+                buf.put_u8(TAG_REQUEST_LOCATION);
+                buf.put_u32(user.raw());
+                buf.put_f64(location.x);
+                buf.put_f64(location.y);
+            }
+            ClientRequest::FinalizeWindow { user } => {
+                buf.put_u8(TAG_FINALIZE);
+                buf.put_u32(user.raw());
+            }
+            ClientRequest::Shutdown => buf.put_u8(TAG_SHUTDOWN),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] for empty, truncated, or unknown frames.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.is_empty() {
+            return Err(FrameError::Empty);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_CHECK_IN => {
+                need(buf, 28)?;
+                Ok(ClientRequest::CheckIn {
+                    user: UserId::new(buf.get_u32()),
+                    location: Point::new(buf.get_f64(), buf.get_f64()),
+                    timestamp: buf.get_i64(),
+                })
+            }
+            TAG_REQUEST_LOCATION => {
+                need(buf, 20)?;
+                Ok(ClientRequest::RequestLocation {
+                    user: UserId::new(buf.get_u32()),
+                    location: Point::new(buf.get_f64(), buf.get_f64()),
+                })
+            }
+            TAG_FINALIZE => {
+                need(buf, 4)?;
+                Ok(ClientRequest::FinalizeWindow { user: UserId::new(buf.get_u32()) })
+            }
+            TAG_SHUTDOWN => Ok(ClientRequest::Shutdown),
+            other => Err(FrameError::UnknownTag(other)),
+        }
+    }
+}
+
+impl EdgeResponse {
+    /// Encodes the response into its wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(17);
+        match *self {
+            EdgeResponse::ReportedLocation { location } => {
+                buf.put_u8(TAG_REPORTED);
+                buf.put_f64(location.x);
+                buf.put_f64(location.y);
+            }
+            EdgeResponse::WindowClosed { fresh_obfuscations } => {
+                buf.put_u8(TAG_WINDOW_CLOSED);
+                buf.put_u32(fresh_obfuscations);
+            }
+            EdgeResponse::Ack => buf.put_u8(TAG_ACK),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] for empty, truncated, or unknown frames.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.is_empty() {
+            return Err(FrameError::Empty);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_REPORTED => {
+                need(buf, 16)?;
+                Ok(EdgeResponse::ReportedLocation {
+                    location: Point::new(buf.get_f64(), buf.get_f64()),
+                })
+            }
+            TAG_WINDOW_CLOSED => {
+                need(buf, 4)?;
+                Ok(EdgeResponse::WindowClosed { fresh_obfuscations: buf.get_u32() })
+            }
+            TAG_ACK => Ok(EdgeResponse::Ack),
+            other => Err(FrameError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<ClientRequest> {
+        vec![
+            ClientRequest::CheckIn {
+                user: UserId::new(9),
+                location: Point::new(-12.5, 98_000.25),
+                timestamp: 86_400 * 500 + 3,
+            },
+            ClientRequest::RequestLocation {
+                user: UserId::new(u32::MAX),
+                location: Point::new(0.0, -0.0),
+            },
+            ClientRequest::FinalizeWindow { user: UserId::new(0) },
+            ClientRequest::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<EdgeResponse> {
+        vec![
+            EdgeResponse::ReportedLocation { location: Point::new(1.25, -7.5) },
+            EdgeResponse::WindowClosed { fresh_obfuscations: 3 },
+            EdgeResponse::Ack,
+        ]
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for r in requests() {
+            assert_eq!(ClientRequest::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for r in responses() {
+            assert_eq!(EdgeResponse::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        for r in requests() {
+            let bytes = r.encode();
+            if bytes.len() > 1 {
+                let err = ClientRequest::decode(&bytes[..bytes.len() - 1]).unwrap_err();
+                assert!(matches!(err, FrameError::Truncated { .. }), "{r:?}: {err}");
+            }
+        }
+        for r in responses() {
+            let bytes = r.encode();
+            if bytes.len() > 1 {
+                let err = EdgeResponse::decode(&bytes[..bytes.len() - 1]).unwrap_err();
+                assert!(matches!(err, FrameError::Truncated { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_frames() {
+        assert_eq!(ClientRequest::decode(&[]), Err(FrameError::Empty));
+        assert_eq!(EdgeResponse::decode(&[]), Err(FrameError::Empty));
+        assert_eq!(ClientRequest::decode(&[0xFF]), Err(FrameError::UnknownTag(0xFF)));
+        assert_eq!(EdgeResponse::decode(&[0x00]), Err(FrameError::UnknownTag(0x00)));
+    }
+
+    #[test]
+    fn request_and_response_tags_do_not_overlap() {
+        // Client tags < 0x80, edge tags ≥ 0x80: decoding a frame with the
+        // wrong decoder fails rather than aliasing.
+        for r in requests() {
+            assert!(EdgeResponse::decode(&r.encode()).is_err());
+        }
+        for r in responses() {
+            assert!(ClientRequest::decode(&r.encode()).is_err());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(FrameError::Empty.to_string(), "empty frame");
+        assert!(FrameError::UnknownTag(0xAB).to_string().contains("0xab"));
+        assert!(FrameError::Truncated { needed: 20, got: 3 }
+            .to_string()
+            .contains("need 20"));
+    }
+}

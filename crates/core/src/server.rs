@@ -1,0 +1,259 @@
+use crossbeam::channel::{bounded, Receiver, Sender};
+use privlocad_geo::Point;
+use privlocad_mobility::UserId;
+
+use crate::protocol::{ClientRequest, EdgeResponse, FrameError};
+use crate::{EdgeDevice, SystemConfig};
+
+/// A handle for talking to a running [`EdgeServer`] from any thread.
+///
+/// Cloneable; all clones feed the same serving loop. Requests and
+/// responses cross the transport in their binary frame encoding, exactly
+/// as they would over a radio link.
+#[derive(Debug, Clone)]
+pub struct EdgeHandle {
+    tx: Sender<(Vec<u8>, Sender<Vec<u8>>)>,
+}
+
+/// Errors surfaced by [`EdgeHandle`] calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// The serving loop has shut down.
+    Disconnected,
+    /// A frame failed to decode.
+    Frame(FrameError),
+    /// The server answered with an unexpected response type.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "edge server disconnected"),
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::UnexpectedResponse => write!(f, "unexpected response type"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl EdgeHandle {
+    /// Sends one request frame and waits for the response frame.
+    pub fn call(&self, request: ClientRequest) -> Result<EdgeResponse, TransportError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send((request.encode().to_vec(), reply_tx))
+            .map_err(|_| TransportError::Disconnected)?;
+        let bytes = reply_rx.recv().map_err(|_| TransportError::Disconnected)?;
+        Ok(EdgeResponse::decode(&bytes)?)
+    }
+
+    /// Reports a check-in (fire-and-forget semantics at the API level; the
+    /// transport still acknowledges).
+    pub fn check_in(
+        &self,
+        user: UserId,
+        location: Point,
+        timestamp: i64,
+    ) -> Result<(), TransportError> {
+        match self.call(ClientRequest::CheckIn { user, location, timestamp })? {
+            EdgeResponse::Ack => Ok(()),
+            _ => Err(TransportError::UnexpectedResponse),
+        }
+    }
+
+    /// Asks for the location to report for an ad request.
+    pub fn request_location(
+        &self,
+        user: UserId,
+        location: Point,
+    ) -> Result<Point, TransportError> {
+        match self.call(ClientRequest::RequestLocation { user, location })? {
+            EdgeResponse::ReportedLocation { location } => Ok(location),
+            _ => Err(TransportError::UnexpectedResponse),
+        }
+    }
+
+    /// Closes the user's profile window.
+    pub fn finalize_window(&self, user: UserId) -> Result<u32, TransportError> {
+        match self.call(ClientRequest::FinalizeWindow { user })? {
+            EdgeResponse::WindowClosed { fresh_obfuscations } => Ok(fresh_obfuscations),
+            _ => Err(TransportError::UnexpectedResponse),
+        }
+    }
+
+    /// Stops the serving loop.
+    pub fn shutdown(&self) -> Result<(), TransportError> {
+        match self.call(ClientRequest::Shutdown)? {
+            EdgeResponse::Ack => Ok(()),
+            _ => Err(TransportError::UnexpectedResponse),
+        }
+    }
+}
+
+/// An edge device behind a message-passing serving loop.
+///
+/// [`EdgeServer::spawn`] starts a dedicated thread owning an
+/// [`EdgeDevice`] and returns a cloneable [`EdgeHandle`]; any number of
+/// client threads can then check in and request locations concurrently,
+/// with the loop serializing access — the deployment shape of Fig. 5
+/// where one edge node fronts many nearby mobile users.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad::{EdgeServer, SystemConfig};
+/// use privlocad_geo::Point;
+/// use privlocad_mobility::UserId;
+///
+/// let (server, handle) = EdgeServer::spawn(SystemConfig::builder().build()?, 5);
+/// let user = UserId::new(1);
+/// for t in 0..30 {
+///     handle.check_in(user, Point::new(100.0, 100.0), t)?;
+/// }
+/// assert_eq!(handle.finalize_window(user)?, 1);
+/// let reported = handle.request_location(user, Point::new(100.0, 100.0))?;
+/// assert!(reported.is_finite());
+/// handle.shutdown()?;
+/// server.join();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EdgeServer {
+    thread: std::thread::JoinHandle<EdgeDevice>,
+}
+
+impl EdgeServer {
+    /// Spawns the serving loop and returns the server plus a client handle.
+    pub fn spawn(config: SystemConfig, seed: u64) -> (EdgeServer, EdgeHandle) {
+        let (tx, rx): (Sender<(Vec<u8>, Sender<Vec<u8>>)>, Receiver<_>) = bounded(1_024);
+        let thread = std::thread::spawn(move || serve(EdgeDevice::new(config, seed), rx));
+        (EdgeServer { thread }, EdgeHandle { tx })
+    }
+
+    /// Waits for the serving loop to finish (after a shutdown request or
+    /// once every handle is dropped) and returns the edge device with its
+    /// final state for inspection.
+    pub fn join(self) -> EdgeDevice {
+        self.thread.join().expect("edge serving loop must not panic")
+    }
+}
+
+fn serve(mut edge: EdgeDevice, rx: Receiver<(Vec<u8>, Sender<Vec<u8>>)>) -> EdgeDevice {
+    while let Ok((frame, reply)) = rx.recv() {
+        let response = match ClientRequest::decode(&frame) {
+            Ok(ClientRequest::CheckIn { user, location, .. }) => {
+                edge.report_checkin(user, location);
+                EdgeResponse::Ack
+            }
+            Ok(ClientRequest::RequestLocation { user, location }) => {
+                EdgeResponse::ReportedLocation {
+                    location: edge.reported_location(user, location),
+                }
+            }
+            Ok(ClientRequest::FinalizeWindow { user }) => EdgeResponse::WindowClosed {
+                fresh_obfuscations: edge.finalize_window(user) as u32,
+            },
+            Ok(ClientRequest::Shutdown) => {
+                let _ = reply.send(EdgeResponse::Ack.encode().to_vec());
+                break;
+            }
+            // A malformed frame cannot be answered meaningfully; ack so
+            // the client does not hang, and drop the frame.
+            Err(_) => EdgeResponse::Ack,
+        };
+        let _ = reply.send(response.encode().to_vec());
+    }
+    edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn() -> (EdgeServer, EdgeHandle) {
+        EdgeServer::spawn(SystemConfig::builder().build().unwrap(), 11)
+    }
+
+    #[test]
+    fn full_protocol_round_trip() {
+        let (server, handle) = spawn();
+        let user = UserId::new(3);
+        let home = Point::new(10.0, 20.0);
+        for t in 0..40 {
+            handle.check_in(user, home, t).unwrap();
+        }
+        assert_eq!(handle.finalize_window(user).unwrap(), 1);
+        let reported = handle.request_location(user, home).unwrap();
+        assert_ne!(reported, home);
+        handle.shutdown().unwrap();
+        let edge = server.join();
+        assert_eq!(edge.user_count(), 1);
+        assert!(edge.candidates(user, home).unwrap().contains(&reported));
+    }
+
+    #[test]
+    fn many_client_threads_share_one_edge() {
+        let (server, handle) = spawn();
+        let handles: Vec<_> = (0..6u32)
+            .map(|u| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    let user = UserId::new(u);
+                    let home = Point::new(u as f64 * 3_000.0, 0.0);
+                    for t in 0..30 {
+                        h.check_in(user, home, t).unwrap();
+                    }
+                    assert_eq!(h.finalize_window(user).unwrap(), 1);
+                    h.request_location(user, home).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_finite());
+        }
+        handle.shutdown().unwrap();
+        assert_eq!(server.join().user_count(), 6);
+    }
+
+    #[test]
+    fn handle_calls_after_shutdown_fail() {
+        let (server, handle) = spawn();
+        handle.shutdown().unwrap();
+        server.join();
+        let err = handle.check_in(UserId::new(0), Point::ORIGIN, 0).unwrap_err();
+        assert_eq!(err, TransportError::Disconnected);
+    }
+
+    #[test]
+    fn dropping_all_handles_stops_the_loop() {
+        let (server, handle) = spawn();
+        drop(handle);
+        let edge = server.join();
+        assert_eq!(edge.user_count(), 0);
+    }
+
+    #[test]
+    fn transport_error_display_and_source() {
+        use std::error::Error;
+        let e = TransportError::Frame(FrameError::Empty);
+        assert!(e.to_string().contains("frame error"));
+        assert!(e.source().is_some());
+        assert!(TransportError::Disconnected.source().is_none());
+        assert!(!TransportError::UnexpectedResponse.to_string().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid geometric arguments.
+///
+/// Returned by constructors that validate their inputs, e.g.
+/// [`GeoPoint::new`](crate::GeoPoint::new) rejects out-of-range latitudes and
+/// [`Circle::new`](crate::Circle::new) rejects non-positive radii.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, 90]` degrees or not finite.
+    InvalidLatitude(f64),
+    /// Longitude outside `[-180, 180]` degrees or not finite.
+    InvalidLongitude(f64),
+    /// A radius or other length that must be positive and finite.
+    InvalidLength(f64),
+    /// A coordinate that must be finite.
+    NonFiniteCoordinate(f64),
+    /// A bounding box whose minimum exceeds its maximum.
+    EmptyBoundingBox,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] or not finite")
+            }
+            GeoError::InvalidLength(v) => {
+                write!(f, "length {v} must be positive and finite")
+            }
+            GeoError::NonFiniteCoordinate(v) => write!(f, "coordinate {v} is not finite"),
+            GeoError::EmptyBoundingBox => write!(f, "bounding box minimum exceeds maximum"),
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            GeoError::InvalidLatitude(91.0),
+            GeoError::InvalidLongitude(181.0),
+            GeoError::InvalidLength(-1.0),
+            GeoError::NonFiniteCoordinate(f64::NAN),
+            GeoError::EmptyBoundingBox,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! A uniform spatial hash grid over planar points.
+//!
+//! The longitudinal attack's connectivity-based clustering asks, for every
+//! check-in, "which other check-ins are within θ meters?". A naive
+//! all-pairs scan is O(m²) and the paper's heaviest user has 11,435
+//! check-ins per window; [`SpatialGrid`] with cell size θ reduces the
+//! neighbor query to the 3×3 surrounding cells.
+
+use std::collections::HashMap;
+
+use crate::Point;
+
+/// A uniform hash grid indexing points by integer cell coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::grid::SpatialGrid;
+/// use privlocad_geo::Point;
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(30.0, 0.0), Point::new(500.0, 0.0)];
+/// let grid = SpatialGrid::build(&pts, 50.0);
+/// let near: Vec<usize> = grid.neighbors_within(Point::new(10.0, 0.0), 50.0).collect();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    points: Vec<Point>,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with the given cell size in meters.
+    ///
+    /// For neighbor queries of radius `θ`, a cell size of `θ` is optimal:
+    /// all candidates then live in the 3×3 cell neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(cell_size, *p)).or_default().push(i);
+        }
+        SpatialGrid { cell: cell_size, points: points.to_vec(), cells }
+    }
+
+    #[inline]
+    fn key(cell: f64, p: Point) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Iterates over indices of points within `radius` meters of `query`
+    /// (inclusive), in ascending index order.
+    ///
+    /// Only exact distance matches are returned — the grid is purely an
+    /// acceleration structure. `radius` may be at most the grid cell size;
+    /// larger radii would require scanning more than the 3×3 neighborhood
+    /// and are rejected with a panic to catch misuse early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the grid cell size.
+    pub fn neighbors_within(&self, query: Point, radius: f64) -> NeighborsWithin<'_> {
+        assert!(
+            radius <= self.cell,
+            "query radius {radius} exceeds grid cell size {}",
+            self.cell
+        );
+        let (cx, cy) = Self::key(self.cell, query);
+        let mut candidates: Vec<usize> = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(v) = self.cells.get(&(cx + dx, cy + dy)) {
+                    candidates.extend_from_slice(v);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        NeighborsWithin {
+            grid: self,
+            query,
+            radius_sq: radius * radius,
+            candidates,
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator over point indices within a radius of a query point.
+///
+/// Produced by [`SpatialGrid::neighbors_within`].
+#[derive(Debug)]
+pub struct NeighborsWithin<'a> {
+    grid: &'a SpatialGrid,
+    query: Point,
+    radius_sq: f64,
+    candidates: Vec<usize>,
+    pos: usize,
+}
+
+impl Iterator for NeighborsWithin<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.pos < self.candidates.len() {
+            let idx = self.candidates[self.pos];
+            self.pos += 1;
+            if self.grid.points[idx].distance_sq(self.query) <= self.radius_sq {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn finds_exact_neighbors_like_brute_force() {
+        let mut rng = seeded(99);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 50.0);
+        for qi in (0..pts.len()).step_by(17) {
+            let q = pts[qi];
+            let fast: Vec<usize> = grid.neighbors_within(q, 50.0).collect();
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].distance(q) <= 50.0)
+                .collect();
+            assert_eq!(fast, brute, "mismatch at query {qi}");
+        }
+    }
+
+    #[test]
+    fn includes_query_point_itself() {
+        let pts = vec![Point::new(1.0, 1.0)];
+        let grid = SpatialGrid::build(&pts, 10.0);
+        let n: Vec<usize> = grid.neighbors_within(pts[0], 10.0).collect();
+        assert_eq!(n, vec![0]);
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let grid = SpatialGrid::build(&pts, 50.0);
+        let n: Vec<usize> = grid.neighbors_within(pts[0], 50.0).collect();
+        assert_eq!(n, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = SpatialGrid::build(&[], 50.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert_eq!(grid.neighbors_within(Point::ORIGIN, 50.0).count(), 0);
+    }
+
+    #[test]
+    fn works_across_negative_cell_boundaries() {
+        let pts = vec![Point::new(-1.0, -1.0), Point::new(1.0, 1.0)];
+        let grid = SpatialGrid::build(&pts, 50.0);
+        let n: Vec<usize> = grid.neighbors_within(Point::new(0.0, 0.0), 50.0).collect();
+        assert_eq!(n, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid cell size")]
+    fn rejects_oversized_query_radius() {
+        let grid = SpatialGrid::build(&[Point::ORIGIN], 50.0);
+        let _ = grid.neighbors_within(Point::ORIGIN, 51.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn rejects_bad_cell_size() {
+        let _ = SpatialGrid::build(&[], 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid privacy parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// δ must lie in the open interval (0, 1).
+    InvalidDelta(f64),
+    /// The indistinguishability radius r must be positive and finite.
+    InvalidRadius(f64),
+    /// The number of outputs n must be at least 1.
+    InvalidFold(usize),
+    /// A probability argument must lie in `[0, 1)`.
+    InvalidProbability(f64),
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::InvalidEpsilon(v) => {
+                write!(f, "epsilon {v} must be positive and finite")
+            }
+            MechanismError::InvalidDelta(v) => write!(f, "delta {v} must be in (0, 1)"),
+            MechanismError::InvalidRadius(v) => {
+                write!(f, "radius {v} must be positive and finite")
+            }
+            MechanismError::InvalidFold(v) => write!(f, "fold count {v} must be at least 1"),
+            MechanismError::InvalidProbability(v) => {
+                write!(f, "probability {v} must be in [0, 1)")
+            }
+        }
+    }
+}
+
+impl Error for MechanismError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            MechanismError::InvalidEpsilon(-1.0),
+            MechanismError::InvalidDelta(2.0),
+            MechanismError::InvalidRadius(0.0),
+            MechanismError::InvalidFold(0),
+            MechanismError::InvalidProbability(1.5),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<MechanismError>();
+    }
+}

@@ -1,0 +1,255 @@
+use serde::{Deserialize, Serialize};
+
+use crate::MechanismError;
+
+/// Parameters of `(r, ε, δ, n)`-geo-indistinguishability (Definition 3).
+///
+/// A mechanism releasing the output *set* `Q = {q₁, …, q_n}` satisfies the
+/// definition if for all `r`-neighbouring real locations `p₀`, `p₁`:
+/// `Pr[LPPM(p₀) = Q] ≤ e^ε · Pr[LPPM(p₁) = Q] + δ`.
+///
+/// The paper's default evaluation setting (Section VII-A) is `δ = 0.01`,
+/// `ε ∈ {1, 1.5}`, `r ∈ {500, 600, 700, 800}` m and `n` up to 10.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_mechanisms::GeoIndParams;
+///
+/// let p = GeoIndParams::new(500.0, 1.0, 0.01, 10)?;
+/// // σ = √10 · 500 · sqrt(ln(1/0.01²) + 1) ≈ 5 057 m
+/// assert!((p.sigma() - 5_057.0).abs() < 5.0);
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoIndParams {
+    r: f64,
+    epsilon: f64,
+    delta: f64,
+    n: usize,
+}
+
+impl GeoIndParams {
+    /// Creates a validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MechanismError`] if `r ≤ 0`, `ε ≤ 0`, `δ ∉ (0, 1)` or
+    /// `n = 0`, or if any numeric argument is not finite.
+    pub fn new(r: f64, epsilon: f64, delta: f64, n: usize) -> Result<Self, MechanismError> {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(MechanismError::InvalidRadius(r));
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(MechanismError::InvalidEpsilon(epsilon));
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(MechanismError::InvalidDelta(delta));
+        }
+        if n == 0 {
+            return Err(MechanismError::InvalidFold(n));
+        }
+        Ok(GeoIndParams { r, epsilon, delta, n })
+    }
+
+    /// Indistinguishability radius `r` in meters.
+    #[inline]
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Privacy level `ε`.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Failure probability `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of simultaneously released obfuscated locations `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-axis noise standard deviation of the n-fold Gaussian mechanism.
+    ///
+    /// Theorem 2: `σ = (√n·r/ε)·sqrt(ln(1/δ²) + ε)`.
+    pub fn sigma(&self) -> f64 {
+        (self.n as f64).sqrt() * self.sigma_single()
+    }
+
+    /// Noise standard deviation of the corresponding 1-fold mechanism.
+    ///
+    /// Lemma 1: `σ = (r/ε)·sqrt(ln(1/δ²) + ε)`. This is also the deviation
+    /// of the *sample mean* of the n-fold mechanism's outputs — the
+    /// sufficient statistic that carries all the information about the real
+    /// location (Section VI).
+    pub fn sigma_single(&self) -> f64 {
+        self.r / self.epsilon * ((1.0 / (self.delta * self.delta)).ln() + self.epsilon).sqrt()
+    }
+
+    /// Parameters of one output under plain composition.
+    ///
+    /// The composition-based baseline releases `n` outputs each satisfying
+    /// `(r, ε/n, δ/n, 1)`-geo-IND, so the basic composition theorem yields
+    /// `(r, ε, δ, n)` overall.
+    pub fn composition_split(&self) -> GeoIndParams {
+        GeoIndParams {
+            r: self.r,
+            epsilon: self.epsilon / self.n as f64,
+            delta: self.delta / self.n as f64,
+            n: 1,
+        }
+    }
+
+    /// Returns the same parameters with a different fold count `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::InvalidFold`] if `n = 0`.
+    pub fn with_n(&self, n: usize) -> Result<GeoIndParams, MechanismError> {
+        GeoIndParams::new(self.r, self.epsilon, self.delta, n)
+    }
+}
+
+/// Parameters of the original ε-geo-indistinguishability (Definition 1).
+///
+/// The original paper parameterizes privacy as a level `l` at a radius `r`,
+/// giving `ε = l / r` per meter. The Edge-PrivLocAd evaluation uses
+/// `r = 200 m` and `l ∈ {ln 2, ln 4, ln 6}` for the attacked one-time
+/// mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_mechanisms::PlanarLaplaceParams;
+///
+/// let p = PlanarLaplaceParams::from_level(2f64.ln(), 200.0)?;
+/// assert!((p.epsilon_per_meter() - 2f64.ln() / 200.0).abs() < 1e-15);
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanarLaplaceParams {
+    epsilon_per_meter: f64,
+}
+
+impl PlanarLaplaceParams {
+    /// Creates parameters from a raw per-meter ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::InvalidEpsilon`] unless `ε > 0` and finite.
+    pub fn new(epsilon_per_meter: f64) -> Result<Self, MechanismError> {
+        if !epsilon_per_meter.is_finite() || epsilon_per_meter <= 0.0 {
+            return Err(MechanismError::InvalidEpsilon(epsilon_per_meter));
+        }
+        Ok(PlanarLaplaceParams { epsilon_per_meter })
+    }
+
+    /// Creates parameters from a privacy level `l` at radius `r` meters
+    /// (`ε = l / r`), the parameterization used by Andrés et al.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MechanismError`] if `l ≤ 0` or `r ≤ 0`.
+    pub fn from_level(l: f64, r: f64) -> Result<Self, MechanismError> {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(MechanismError::InvalidRadius(r));
+        }
+        Self::new(l / r)
+    }
+
+    /// The privacy parameter ε expressed per meter.
+    #[inline]
+    pub fn epsilon_per_meter(&self) -> f64 {
+        self.epsilon_per_meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(GeoIndParams::new(500.0, 1.0, 0.01, 10).is_ok());
+        assert!(matches!(
+            GeoIndParams::new(0.0, 1.0, 0.01, 1),
+            Err(MechanismError::InvalidRadius(_))
+        ));
+        assert!(matches!(
+            GeoIndParams::new(500.0, 0.0, 0.01, 1),
+            Err(MechanismError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            GeoIndParams::new(500.0, 1.0, 0.0, 1),
+            Err(MechanismError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            GeoIndParams::new(500.0, 1.0, 1.0, 1),
+            Err(MechanismError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            GeoIndParams::new(500.0, 1.0, 0.01, 0),
+            Err(MechanismError::InvalidFold(0))
+        ));
+        assert!(GeoIndParams::new(f64::NAN, 1.0, 0.01, 1).is_err());
+    }
+
+    #[test]
+    fn sigma_formula_matches_paper_defaults() {
+        // δ = 0.01, ε = 1, r = 500 m, n = 1: σ = 500·sqrt(ln 10⁴ + 1).
+        let p = GeoIndParams::new(500.0, 1.0, 0.01, 1).unwrap();
+        let expected = 500.0 * (10_000.0_f64.ln() + 1.0).sqrt();
+        assert!((p.sigma() - expected).abs() < 1e-9);
+        assert!((p.sigma_single() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_scales_with_sqrt_n() {
+        let p1 = GeoIndParams::new(500.0, 1.0, 0.01, 1).unwrap();
+        let p10 = GeoIndParams::new(500.0, 1.0, 0.01, 10).unwrap();
+        assert!((p10.sigma() / p1.sigma() - 10.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_decreases_with_epsilon() {
+        let strict = GeoIndParams::new(500.0, 1.0, 0.01, 5).unwrap();
+        let loose = GeoIndParams::new(500.0, 1.5, 0.01, 5).unwrap();
+        assert!(loose.sigma() < strict.sigma());
+    }
+
+    #[test]
+    fn composition_split_divides_budget() {
+        let p = GeoIndParams::new(500.0, 1.0, 0.01, 10).unwrap();
+        let s = p.composition_split();
+        assert!((s.epsilon() - 0.1).abs() < 1e-12);
+        assert!((s.delta() - 0.001).abs() < 1e-12);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.r(), 500.0);
+        // Split noise is much larger than the n-fold noise: the whole point
+        // of Theorem 2.
+        assert!(s.sigma() > p.sigma());
+    }
+
+    #[test]
+    fn with_n_updates_fold() {
+        let p = GeoIndParams::new(500.0, 1.0, 0.01, 1).unwrap();
+        assert_eq!(p.with_n(7).unwrap().n(), 7);
+        assert!(p.with_n(0).is_err());
+    }
+
+    #[test]
+    fn laplace_level_parameterization() {
+        let p = PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap();
+        assert!((p.epsilon_per_meter() - 4f64.ln() / 200.0).abs() < 1e-15);
+        assert!(PlanarLaplaceParams::from_level(-1.0, 200.0).is_err());
+        assert!(PlanarLaplaceParams::from_level(1.0, 0.0).is_err());
+        assert!(PlanarLaplaceParams::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+use privlocad_geo::{rng::uniform_angle, Point};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::lambert_w::w_m1;
+use crate::{Lppm, MechanismError, PlanarLaplaceParams};
+
+/// The planar Laplace mechanism of Andrés et al. (CCS 2013), achieving
+/// ε-geo-indistinguishability for a single released location.
+///
+/// The output density around the real location is `D(q) ∝ e^{−ε·d(p,q)}`.
+/// Sampling is performed in polar coordinates: the angle is uniform and the
+/// radius follows the distribution with CDF `C(r) = 1 − (1 + εr)·e^{−εr}`,
+/// inverted through the Lambert `W₋₁` function.
+///
+/// In the paper this is the *one-time geo-IND* mechanism applied
+/// independently to every check-in — the configuration that the
+/// longitudinal location exposure attack (Section III) defeats.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::{PlanarLaplace, PlanarLaplaceParams};
+///
+/// // l = ln 2 at r = 200 m, the paper's strictest attacked setting.
+/// let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(2f64.ln(), 200.0)?);
+/// let mut rng = seeded(3);
+/// let noisy = mech.sample(Point::ORIGIN, &mut rng);
+/// assert!(noisy.is_finite());
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanarLaplace {
+    params: PlanarLaplaceParams,
+}
+
+impl PlanarLaplace {
+    /// Creates the mechanism from validated parameters.
+    pub fn new(params: PlanarLaplaceParams) -> Self {
+        PlanarLaplace { params }
+    }
+
+    /// The mechanism parameters.
+    #[inline]
+    pub fn params(&self) -> PlanarLaplaceParams {
+        self.params
+    }
+
+    /// Releases one obfuscated location for `real`.
+    pub fn sample<R: Rng + ?Sized>(&self, real: Point, rng: &mut R) -> Point {
+        let theta = uniform_angle(rng);
+        let p: f64 = rng.gen();
+        let r = self.radial_quantile(p);
+        real.offset_polar(r, theta)
+    }
+
+    /// CDF of the noise radius: `C(r) = 1 − (1 + εr)·e^{−εr}`.
+    pub fn radial_cdf(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        let eps = self.params.epsilon_per_meter();
+        1.0 - (1.0 + eps * r) * (-eps * r).exp()
+    }
+
+    /// Quantile (inverse CDF) of the noise radius:
+    /// `C⁻¹(p) = −(1/ε)·(W₋₁((p−1)/e) + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn radial_quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "probability {p} must be in [0, 1)");
+        if p == 0.0 {
+            return 0.0;
+        }
+        let eps = self.params.epsilon_per_meter();
+        let x = (p - 1.0) / std::f64::consts::E;
+        -(w_m1(x) + 1.0) / eps
+    }
+
+    /// The confidence radius `r_α` with `Pr[dist(p, q) > r_α] ≤ α`.
+    ///
+    /// The de-obfuscation attack (Algorithm 1) uses `r₀.₀₅` as its cluster
+    /// trimming radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::InvalidProbability`] if `α ∉ (0, 1)`.
+    pub fn confidence_radius(&self, alpha: f64) -> Result<f64, MechanismError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(MechanismError::InvalidProbability(alpha));
+        }
+        Ok(self.radial_quantile(1.0 - alpha))
+    }
+
+    /// Expected distance between the real and the released location,
+    /// `E[R] = 2/ε`.
+    pub fn expected_distance(&self) -> f64 {
+        2.0 / self.params.epsilon_per_meter()
+    }
+}
+
+impl Lppm for PlanarLaplace {
+    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
+        vec![self.sample(real, rng)]
+    }
+
+    fn output_count(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "planar-laplace"
+    }
+}
+
+/// The discretized planar Laplace mechanism: continuous noise snapped to a
+/// reporting grid (Section 4 of Andrés et al.).
+///
+/// Real LBA requests carry finite-precision coordinates; reporting on a
+/// grid of step `u` both matches that reality and avoids revealing
+/// arbitrarily precise noise values. Privacy is unchanged: for every
+/// output cell the density ratio between two real locations is bounded by
+/// `e^{ε·d}` pointwise (triangle inequality), so integrating over the
+/// cell preserves ε-geo-IND exactly. (Floating-point *arithmetic*
+/// precision attacks, their §4.3, are outside this model.)
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::{DiscretePlanarLaplace, PlanarLaplace, PlanarLaplaceParams};
+///
+/// let inner = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0)?);
+/// let mech = DiscretePlanarLaplace::new(inner, 100.0);
+/// let mut rng = seeded(9);
+/// let q = mech.sample(Point::new(37.0, -12.0), &mut rng);
+/// assert_eq!(q.x.rem_euclid(100.0), 0.0);
+/// assert_eq!(q.y.rem_euclid(100.0), 0.0);
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePlanarLaplace {
+    inner: PlanarLaplace,
+    grid_step_m: f64,
+}
+
+impl DiscretePlanarLaplace {
+    /// Creates the mechanism with a reporting grid of step `grid_step_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_step_m` is not positive and finite.
+    pub fn new(inner: PlanarLaplace, grid_step_m: f64) -> Self {
+        assert!(
+            grid_step_m.is_finite() && grid_step_m > 0.0,
+            "grid step must be positive and finite"
+        );
+        DiscretePlanarLaplace { inner, grid_step_m }
+    }
+
+    /// The wrapped continuous mechanism.
+    pub fn inner(&self) -> &PlanarLaplace {
+        &self.inner
+    }
+
+    /// The reporting-grid step in meters.
+    pub fn grid_step_m(&self) -> f64 {
+        self.grid_step_m
+    }
+
+    /// Releases one grid-snapped obfuscated location.
+    pub fn sample<R: Rng + ?Sized>(&self, real: Point, rng: &mut R) -> Point {
+        self.snap(self.inner.sample(real, rng))
+    }
+
+    /// Snaps a point to the nearest grid vertex.
+    pub fn snap(&self, p: Point) -> Point {
+        let u = self.grid_step_m;
+        Point::new((p.x / u).round() * u, (p.y / u).round() * u)
+    }
+}
+
+impl Lppm for DiscretePlanarLaplace {
+    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
+        vec![self.sample(real, rng)]
+    }
+
+    fn output_count(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "discrete-planar-laplace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::seeded;
+
+    fn mech(l: f64, r: f64) -> PlanarLaplace {
+        PlanarLaplace::new(PlanarLaplaceParams::from_level(l, r).unwrap())
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let m = mech(4f64.ln(), 200.0);
+        for &p in &[0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999] {
+            let r = m.radial_quantile(p);
+            assert!((m.radial_cdf(r) - p).abs() < 1e-10, "p={p} r={r}");
+        }
+    }
+
+    #[test]
+    fn quantile_zero_is_zero_radius() {
+        let m = mech(2f64.ln(), 200.0);
+        assert_eq!(m.radial_quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_nonnegative() {
+        let m = mech(2f64.ln(), 200.0);
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let r = i as f64 * 25.0;
+            let c = m.radial_cdf(r);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(m.radial_cdf(-5.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_radius_matches_cdf() {
+        let m = mech(4f64.ln(), 200.0);
+        let mut rng = seeded(5);
+        let n = 50_000;
+        let within_300: f64 = (0..n)
+            .filter(|_| m.sample(Point::ORIGIN, &mut rng).norm() <= 300.0)
+            .count() as f64;
+        let frac = within_300 / n as f64;
+        let expected = m.radial_cdf(300.0);
+        assert!((frac - expected).abs() < 0.01, "frac {frac} expected {expected}");
+    }
+
+    #[test]
+    fn empirical_mean_distance_matches_theory() {
+        let m = mech(2f64.ln(), 200.0); // E[R] = 2/ε = 400/ln2 ≈ 577 m
+        let mut rng = seeded(6);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample(Point::ORIGIN, &mut rng).norm())
+            .sum::<f64>()
+            / n as f64;
+        let expected = m.expected_distance();
+        assert!((mean - expected).abs() < 0.02 * expected, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn confidence_radius_bounds_tail() {
+        let m = mech(2f64.ln(), 200.0);
+        let r95 = m.confidence_radius(0.05).unwrap();
+        assert!((m.radial_cdf(r95) - 0.95).abs() < 1e-9);
+        let mut rng = seeded(9);
+        let n = 50_000;
+        let beyond = (0..n)
+            .filter(|_| m.sample(Point::ORIGIN, &mut rng).norm() > r95)
+            .count() as f64;
+        let frac = beyond / n as f64;
+        assert!((frac - 0.05).abs() < 0.01, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn confidence_radius_rejects_bad_alpha() {
+        let m = mech(2f64.ln(), 200.0);
+        assert!(m.confidence_radius(0.0).is_err());
+        assert!(m.confidence_radius(1.0).is_err());
+    }
+
+    #[test]
+    fn stricter_privacy_means_more_noise() {
+        // Smaller l (stricter) → smaller ε → larger expected radius.
+        let strict = mech(2f64.ln(), 200.0);
+        let loose = mech(6f64.ln(), 200.0);
+        assert!(strict.expected_distance() > loose.expected_distance());
+    }
+
+    #[test]
+    fn geo_ind_density_ratio_holds_empirically() {
+        // Discretize the plane into cells and verify
+        // count₀(cell) ≤ e^{ε·d(p₀,p₁)}·count₁(cell) within sampling noise
+        // for two nearby real locations.
+        let m = mech(4f64.ln(), 200.0);
+        let eps = m.params().epsilon_per_meter();
+        let p0 = Point::ORIGIN;
+        let p1 = Point::new(100.0, 0.0);
+        let bound = (eps * p0.distance(p1)).exp();
+        let mut rng = seeded(12);
+        let n = 200_000usize;
+        let cell = 100.0;
+        use std::collections::HashMap;
+        let mut c0: HashMap<(i64, i64), f64> = HashMap::new();
+        let mut c1: HashMap<(i64, i64), f64> = HashMap::new();
+        let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        for _ in 0..n {
+            *c0.entry(key(m.sample(p0, &mut rng))).or_default() += 1.0;
+            *c1.entry(key(m.sample(p1, &mut rng))).or_default() += 1.0;
+        }
+        let mut checked = 0;
+        for (k, v0) in &c0 {
+            if *v0 < 200.0 {
+                continue; // skip cells with too few samples for a stable ratio
+            }
+            let v1 = c1.get(k).copied().unwrap_or(0.0).max(1.0);
+            let ratio = v0 / v1;
+            assert!(ratio < bound * 1.35, "cell {k:?} ratio {ratio} bound {bound}");
+            checked += 1;
+        }
+        assert!(checked > 10, "too few dense cells checked");
+    }
+
+    #[test]
+    fn discrete_outputs_lie_on_the_grid() {
+        let m = DiscretePlanarLaplace::new(mech(4f64.ln(), 200.0), 50.0);
+        let mut rng = seeded(15);
+        for _ in 0..200 {
+            let q = m.sample(Point::new(123.4, -567.8), &mut rng);
+            assert!((q.x / 50.0 - (q.x / 50.0).round()).abs() < 1e-9);
+            assert!((q.y / 50.0 - (q.y / 50.0).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snap_moves_at_most_half_diagonal() {
+        let m = DiscretePlanarLaplace::new(mech(2f64.ln(), 200.0), 100.0);
+        let mut rng = seeded(16);
+        for _ in 0..200 {
+            let p = Point::new(rng.gen_range(-1e4..1e4), rng.gen_range(-1e4..1e4));
+            let snapped = m.snap(p);
+            assert!(p.distance(snapped) <= 100.0 * std::f64::consts::SQRT_2 / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn discrete_geo_ind_ratio_holds_empirically() {
+        // The grid cells ARE the discretization, so exact cell counts test
+        // the ε-geo-IND ratio directly.
+        let m = DiscretePlanarLaplace::new(mech(4f64.ln(), 200.0), 100.0);
+        let eps = m.inner().params().epsilon_per_meter();
+        let p0 = Point::ORIGIN;
+        let p1 = Point::new(100.0, 0.0);
+        let bound = (eps * p0.distance(p1)).exp();
+        let mut rng = seeded(17);
+        let n = 150_000usize;
+        use std::collections::HashMap;
+        let mut c0: HashMap<(i64, i64), f64> = HashMap::new();
+        let mut c1: HashMap<(i64, i64), f64> = HashMap::new();
+        let key = |p: Point| ((p.x / 100.0).round() as i64, (p.y / 100.0).round() as i64);
+        for _ in 0..n {
+            *c0.entry(key(m.sample(p0, &mut rng))).or_default() += 1.0;
+            *c1.entry(key(m.sample(p1, &mut rng))).or_default() += 1.0;
+        }
+        let mut checked = 0;
+        for (k, v0) in &c0 {
+            if *v0 < 300.0 {
+                continue;
+            }
+            let v1 = c1.get(k).copied().unwrap_or(0.0).max(1.0);
+            assert!(v0 / v1 < bound * 1.3, "cell {k:?} ratio {} bound {bound}", v0 / v1);
+            checked += 1;
+        }
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn discrete_accessors_and_name() {
+        let inner = mech(2f64.ln(), 200.0);
+        let m = DiscretePlanarLaplace::new(inner, 25.0);
+        assert_eq!(m.grid_step_m(), 25.0);
+        assert_eq!(m.inner(), &inner);
+        assert_eq!(m.name(), "discrete-planar-laplace");
+        assert_eq!(m.output_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid step")]
+    fn discrete_rejects_bad_step() {
+        let _ = DiscretePlanarLaplace::new(mech(2f64.ln(), 200.0), -1.0);
+    }
+
+    #[test]
+    fn lppm_impl_releases_one_point() {
+        let m = mech(2f64.ln(), 200.0);
+        let mut rng = seeded(1);
+        assert_eq!(m.obfuscate(Point::ORIGIN, &mut rng).len(), 1);
+        assert_eq!(m.output_count(), 1);
+        assert_eq!(m.name(), "planar-laplace");
+    }
+}

@@ -1,0 +1,376 @@
+//! Bayesian remapping of released locations — a privacy-free utility
+//! booster from the geo-IND literature.
+//!
+//! Chatzikokolakis et al. (PETS 2017), reference 21 of the paper, improve
+//! utility by *remapping* each released location using public prior
+//! knowledge: given the noisy release `q` and a prior over plausible user
+//! locations (e.g. a population-density grid — people are rarely in the
+//! river), compute the posterior over true locations and report a Bayes
+//! estimate instead of `q`. Because the remap consumes only the released
+//! value and public information, it is post-processing: the geo-IND
+//! guarantee is untouched.
+//!
+//! This module implements the discrete-prior version for both noise
+//! models used in this crate, with the posterior-mean estimator (optimal
+//! for squared error) and the MAP estimator (optimal for 0/1 error over
+//! the prior's support).
+
+use privlocad_geo::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::MechanismError;
+
+/// A discrete prior over candidate true locations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePrior {
+    points: Vec<Point>,
+    weights: Vec<f64>,
+}
+
+impl DiscretePrior {
+    /// Creates a prior from location/weight pairs; weights are normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::InvalidProbability`] if no pair is given,
+    /// a weight is negative or non-finite, or all weights are zero.
+    pub fn new(pairs: impl IntoIterator<Item = (Point, f64)>) -> Result<Self, MechanismError> {
+        let (points, weights): (Vec<Point>, Vec<f64>) = pairs.into_iter().unzip();
+        if points.is_empty() {
+            return Err(MechanismError::InvalidProbability(0.0));
+        }
+        let mut total = 0.0;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(MechanismError::InvalidProbability(w));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(MechanismError::InvalidProbability(total));
+        }
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        Ok(DiscretePrior { points, weights })
+    }
+
+    /// Uniform prior over a set of locations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::InvalidProbability`] for an empty set.
+    pub fn uniform(points: impl IntoIterator<Item = Point>) -> Result<Self, MechanismError> {
+        Self::new(points.into_iter().map(|p| (p, 1.0)))
+    }
+
+    /// The support points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The normalized weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// The noise model the release came from, needed for the likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// Planar Laplace with per-meter ε: density ∝ `e^{−ε·d}`.
+    PlanarLaplace {
+        /// The ε of the releasing mechanism, per meter.
+        epsilon_per_meter: f64,
+    },
+    /// Isotropic Gaussian with per-axis σ: density ∝ `e^{−d²/2σ²}`.
+    Gaussian {
+        /// The σ of the releasing mechanism, in meters.
+        sigma_m: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Log-likelihood of observing `released` given true location `x`,
+    /// up to an additive constant.
+    fn log_likelihood(&self, released: Point, x: Point) -> f64 {
+        match *self {
+            NoiseModel::PlanarLaplace { epsilon_per_meter } => {
+                -epsilon_per_meter * released.distance(x)
+            }
+            NoiseModel::Gaussian { sigma_m } => {
+                -released.distance_sq(x) / (2.0 * sigma_m * sigma_m)
+            }
+        }
+    }
+}
+
+/// Posterior weights over the prior's support given a released location.
+///
+/// Numerically stable (log-sum-exp); always sums to 1.
+pub fn posterior(released: Point, prior: &DiscretePrior, noise: NoiseModel) -> Vec<f64> {
+    let logs: Vec<f64> = prior
+        .points()
+        .iter()
+        .zip(prior.weights())
+        .map(|(&x, &w)| noise.log_likelihood(released, x) + w.max(1e-300).ln())
+        .collect();
+    let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let unnorm: Vec<f64> = logs.iter().map(|l| (l - max).exp()).collect();
+    let total: f64 = unnorm.iter().sum();
+    unnorm.into_iter().map(|u| u / total).collect()
+}
+
+/// Remaps a released location to the posterior mean — the Bayes estimator
+/// for squared error.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::Point;
+/// use privlocad_mechanisms::remap::{remap_mean, DiscretePrior, NoiseModel};
+///
+/// // The user is known a priori to be at one of two POIs; the noisy
+/// // release lands nearer the first.
+/// let prior = DiscretePrior::uniform([Point::new(0.0, 0.0), Point::new(10_000.0, 0.0)])?;
+/// let z = remap_mean(Point::new(1_000.0, 0.0), &prior, NoiseModel::Gaussian { sigma_m: 1_500.0 });
+/// assert!(z.x < 1_000.0, "pulled toward the likelier POI");
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+pub fn remap_mean(released: Point, prior: &DiscretePrior, noise: NoiseModel) -> Point {
+    let post = posterior(released, prior, noise);
+    prior
+        .points()
+        .iter()
+        .zip(&post)
+        .fold(Point::ORIGIN, |acc, (&p, &w)| acc + p * w)
+}
+
+/// An [`Lppm`](crate::Lppm) post-processing combinator: releases the inner
+/// mechanism's candidates remapped through a public prior.
+///
+/// Because the remap reads only the inner release and public data, the
+/// combined mechanism inherits the inner mechanism's geo-IND guarantee
+/// unchanged (post-processing, Theorem 1 direction (a) ⇒ (b)).
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::remap::{DiscretePrior, Remapped};
+/// use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian};
+///
+/// let inner = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 5)?);
+/// let prior = DiscretePrior::uniform([Point::ORIGIN, Point::new(8_000.0, 0.0)])?;
+/// let mech = Remapped::new(inner, prior);
+/// let mut rng = seeded(2);
+/// assert_eq!(mech.obfuscate(Point::ORIGIN, &mut rng).len(), 5);
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Remapped<M> {
+    inner: M,
+    prior: DiscretePrior,
+    noise: NoiseModel,
+}
+
+impl Remapped<crate::NFoldGaussian> {
+    /// Wraps an n-fold Gaussian mechanism, deriving the likelihood model
+    /// from its σ.
+    pub fn new(inner: crate::NFoldGaussian, prior: DiscretePrior) -> Self {
+        let noise = NoiseModel::Gaussian { sigma_m: inner.sigma() };
+        Remapped { inner, prior, noise }
+    }
+}
+
+impl Remapped<crate::PlanarLaplace> {
+    /// Wraps a planar Laplace mechanism, deriving the likelihood model
+    /// from its ε.
+    pub fn new_laplace(inner: crate::PlanarLaplace, prior: DiscretePrior) -> Self {
+        let noise =
+            NoiseModel::PlanarLaplace { epsilon_per_meter: inner.params().epsilon_per_meter() };
+        Remapped { inner, prior, noise }
+    }
+}
+
+impl<M> Remapped<M> {
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The public prior used for remapping.
+    pub fn prior(&self) -> &DiscretePrior {
+        &self.prior
+    }
+}
+
+impl<M: crate::Lppm> crate::Lppm for Remapped<M> {
+    fn obfuscate(&self, real: Point, rng: &mut dyn rand::RngCore) -> Vec<Point> {
+        self.inner
+            .obfuscate(real, rng)
+            .into_iter()
+            .map(|q| remap_mean(q, &self.prior, self.noise))
+            .collect()
+    }
+
+    fn output_count(&self) -> usize {
+        self.inner.output_count()
+    }
+
+    fn name(&self) -> &str {
+        "remapped"
+    }
+}
+
+/// Remaps a released location to the maximum-a-posteriori support point.
+pub fn remap_map(released: Point, prior: &DiscretePrior, noise: NoiseModel) -> Point {
+    let post = posterior(released, prior, noise);
+    let best = post
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("posterior weights are finite"))
+        .map(|(i, _)| i)
+        .expect("prior is non-empty");
+    prior.points()[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::seeded;
+
+    fn gauss(sigma: f64) -> NoiseModel {
+        NoiseModel::Gaussian { sigma_m: sigma }
+    }
+
+    #[test]
+    fn prior_validation() {
+        assert!(DiscretePrior::new(std::iter::empty()).is_err());
+        assert!(DiscretePrior::new([(Point::ORIGIN, -1.0)]).is_err());
+        assert!(DiscretePrior::new([(Point::ORIGIN, f64::NAN)]).is_err());
+        assert!(DiscretePrior::new([(Point::ORIGIN, 0.0)]).is_err());
+        let p = DiscretePrior::new([(Point::ORIGIN, 2.0), (Point::new(1.0, 0.0), 6.0)]).unwrap();
+        assert!((p.weights()[0] - 0.25).abs() < 1e-12);
+        assert!((p.weights()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_prefers_near_points() {
+        let prior =
+            DiscretePrior::uniform([Point::new(0.0, 0.0), Point::new(5_000.0, 0.0)]).unwrap();
+        let post = posterior(Point::new(500.0, 0.0), &prior, gauss(1_000.0));
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(post[0] > post[1]);
+    }
+
+    #[test]
+    fn symmetric_release_gives_symmetric_posterior() {
+        let prior =
+            DiscretePrior::uniform([Point::new(-1_000.0, 0.0), Point::new(1_000.0, 0.0)]).unwrap();
+        let post = posterior(Point::ORIGIN, &prior, gauss(800.0));
+        assert!((post[0] - 0.5).abs() < 1e-12);
+        let z = remap_mean(Point::ORIGIN, &prior, gauss(800.0));
+        assert!(z.norm() < 1e-9);
+    }
+
+    #[test]
+    fn strong_prior_dominates() {
+        let prior = DiscretePrior::new([
+            (Point::new(0.0, 0.0), 0.999),
+            (Point::new(300.0, 0.0), 0.001),
+        ])
+        .unwrap();
+        // Release near the unlikely point still remaps near the likely one.
+        let z = remap_mean(Point::new(280.0, 0.0), &prior, gauss(1_000.0));
+        assert!(z.x < 50.0, "z = {z}");
+        assert_eq!(remap_map(Point::new(280.0, 0.0), &prior, gauss(1_000.0)), Point::ORIGIN);
+    }
+
+    #[test]
+    fn map_returns_a_support_point() {
+        let pts = [Point::new(0.0, 0.0), Point::new(400.0, 300.0), Point::new(-100.0, 900.0)];
+        let prior = DiscretePrior::uniform(pts).unwrap();
+        let z = remap_map(Point::new(350.0, 280.0), &prior, gauss(200.0));
+        assert!(pts.contains(&z));
+        assert_eq!(z, Point::new(400.0, 300.0));
+    }
+
+    #[test]
+    fn laplace_likelihood_also_supported() {
+        let prior =
+            DiscretePrior::uniform([Point::new(0.0, 0.0), Point::new(2_000.0, 0.0)]).unwrap();
+        let noise = NoiseModel::PlanarLaplace { epsilon_per_meter: 4f64.ln() / 200.0 };
+        let post = posterior(Point::new(100.0, 0.0), &prior, noise);
+        assert!(post[0] > 0.99, "steep Laplace likelihood: {post:?}");
+    }
+
+    #[test]
+    fn remapping_reduces_squared_error_under_a_true_prior() {
+        // End-to-end: true location drawn from the prior, released through
+        // the Gaussian mechanism; posterior-mean remapping beats the raw
+        // release on average. This is the utility win of [21].
+        use crate::{GeoIndParams, NFoldGaussian};
+        let pois = [
+            Point::new(0.0, 0.0),
+            Point::new(4_000.0, 0.0),
+            Point::new(0.0, 4_000.0),
+            Point::new(-3_000.0, -3_000.0),
+        ];
+        let prior = DiscretePrior::uniform(pois).unwrap();
+        let mech = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 1).unwrap());
+        let noise = gauss(mech.sigma());
+        let mut rng = seeded(99);
+        let (mut raw_err, mut remap_err) = (0.0, 0.0);
+        let trials = 2_000;
+        for i in 0..trials {
+            let truth = pois[i % pois.len()];
+            let released = mech.sample_one(truth, &mut rng);
+            let remapped = remap_mean(released, &prior, noise);
+            raw_err += released.distance_sq(truth);
+            remap_err += remapped.distance_sq(truth);
+        }
+        assert!(
+            remap_err < raw_err * 0.8,
+            "remap {remap_err:.3e} should clearly beat raw {raw_err:.3e}"
+        );
+    }
+
+    #[test]
+    fn remapped_lppm_releases_points_near_the_prior() {
+        use crate::{GeoIndParams, Lppm, NFoldGaussian};
+        let pois = [Point::ORIGIN, Point::new(8_000.0, 0.0)];
+        let prior = DiscretePrior::uniform(pois).unwrap();
+        let inner = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 6).unwrap());
+        let mech = Remapped::new(inner, prior);
+        assert_eq!(mech.output_count(), 6);
+        assert_eq!(mech.name(), "remapped");
+        assert_eq!(mech.inner().sigma(), inner.sigma());
+        let mut rng = seeded(7);
+        let out = mech.obfuscate(Point::ORIGIN, &mut rng);
+        assert_eq!(out.len(), 6);
+        // Posterior means lie inside the prior's convex hull (the segment).
+        for q in out {
+            assert!((0.0..=8_000.0).contains(&q.x), "{q}");
+            assert!(q.y.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn remapped_laplace_constructor() {
+        use crate::{Lppm, PlanarLaplace, PlanarLaplaceParams};
+        let inner = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
+        let prior = DiscretePrior::uniform([Point::ORIGIN]).unwrap();
+        let mech = Remapped::new_laplace(inner, prior);
+        let mut rng = seeded(1);
+        // A single-point prior collapses every release onto that point.
+        assert_eq!(mech.obfuscate(Point::new(500.0, 0.0), &mut rng), vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    fn numerical_stability_with_distant_support() {
+        let prior =
+            DiscretePrior::uniform([Point::new(0.0, 0.0), Point::new(1e7, 0.0)]).unwrap();
+        let post = posterior(Point::new(10.0, 0.0), &prior, gauss(100.0));
+        assert!(post.iter().all(|p| p.is_finite()));
+        assert!((post[0] - 1.0).abs() < 1e-12);
+    }
+}

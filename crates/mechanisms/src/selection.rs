@@ -1,0 +1,251 @@
+use privlocad_geo::{centroid, Point};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// A strategy for choosing which of the `n` permanent candidates to report
+/// for a single ad request.
+///
+/// Selection happens *after* the privacy mechanism has released the
+/// candidate set, so any strategy is post-processing and costs no privacy
+/// (Theorem 1's post-processing direction).
+pub trait SelectionStrategy: Send + Sync {
+    /// Returns the index of the candidate to report.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `candidates` is empty.
+    fn select(&self, candidates: &[Point], rng: &mut dyn RngCore) -> usize;
+
+    /// A short human-readable strategy name.
+    fn name(&self) -> &str;
+}
+
+/// The paper's posterior-based output selection (Algorithm 4).
+///
+/// Given candidates `q₁, …, q_n`, the posterior density of the real
+/// location is a Gaussian centered at the candidate mean `(x̄, ȳ)`
+/// (Equation 17); each candidate is drawn with probability proportional to
+/// its posterior density (Equation 18):
+/// `Pr[A = qᵢ] = f(xᵢ, yᵢ) / Σₖ f(xₖ, yₖ)`.
+///
+/// Candidates close to the mean — the best guess of the true location —
+/// are therefore reported more often, which keeps advertising efficacy
+/// nearly flat as n grows (Fig. 9) while still exposing only permanent,
+/// already-released points.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::{PosteriorSelector, SelectionStrategy};
+///
+/// let sel = PosteriorSelector::new(1_000.0);
+/// let candidates = [Point::new(0.0, 0.0), Point::new(50.0, 0.0), Point::new(8_000.0, 0.0)];
+/// let mut rng = seeded(4);
+/// let idx = sel.select(&candidates, &mut rng);
+/// assert!(idx < candidates.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PosteriorSelector {
+    sigma: f64,
+}
+
+impl PosteriorSelector {
+    /// Creates a selector using the mechanism's noise deviation σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive and finite");
+        PosteriorSelector { sigma }
+    }
+
+    /// The σ parameter of the posterior density.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The normalized selection probabilities over `candidates`
+    /// (Equation 18).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn probabilities(&self, candidates: &[Point]) -> Vec<f64> {
+        let mean = centroid(candidates).expect("candidate set must be non-empty");
+        let two_sigma_sq = 2.0 * self.sigma * self.sigma;
+        // exp of large negative numbers can underflow to zero for distant
+        // candidates; subtract the max exponent for numerical stability.
+        let exponents: Vec<f64> = candidates
+            .iter()
+            .map(|q| -q.distance_sq(mean) / two_sigma_sq)
+            .collect();
+        let max = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = exponents.iter().map(|e| (e - max).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+}
+
+impl SelectionStrategy for PosteriorSelector {
+    fn select(&self, candidates: &[Point], rng: &mut dyn RngCore) -> usize {
+        let probs = self.probabilities(candidates);
+        let mut u: f64 = rng.gen();
+        for (i, p) in probs.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    fn name(&self) -> &str {
+        "posterior"
+    }
+}
+
+/// Uniform selection over the candidates — the ablation baseline for the
+/// posterior selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UniformSelector;
+
+impl UniformSelector {
+    /// Creates the uniform selector.
+    pub fn new() -> Self {
+        UniformSelector
+    }
+}
+
+impl SelectionStrategy for UniformSelector {
+    fn select(&self, candidates: &[Point], rng: &mut dyn RngCore) -> usize {
+        assert!(!candidates.is_empty(), "candidate set must be non-empty");
+        rng.gen_range(0..candidates.len())
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::seeded;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 50.0),
+            Point::new(-300.0, 800.0),
+            Point::new(2_000.0, -1_000.0),
+        ];
+        let p = sel.probabilities(&cands);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn candidate_nearest_mean_is_most_likely() {
+        let sel = PosteriorSelector::new(500.0);
+        // Mean is ~ (525, 0); candidate 1 is closest to it.
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(600.0, 0.0),
+            Point::new(1_500.0, 0.0),
+        ];
+        let p = sel.probabilities(&cands);
+        assert!(p[1] > p[0] && p[1] > p[2], "{p:?}");
+    }
+
+    #[test]
+    fn equidistant_candidates_equally_likely() {
+        let sel = PosteriorSelector::new(300.0);
+        // Symmetric around the mean (0, 0).
+        let cands = [Point::new(-100.0, 0.0), Point::new(100.0, 0.0)];
+        let p = sel.probabilities(&cands);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_candidate_always_selected() {
+        let sel = PosteriorSelector::new(100.0);
+        let mut rng = seeded(1);
+        assert_eq!(sel.select(&[Point::ORIGIN], &mut rng), 0);
+    }
+
+    #[test]
+    fn empirical_selection_matches_probabilities() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 0.0),
+            Point::new(0.0, 900.0),
+        ];
+        let probs = sel.probabilities(&cands);
+        let mut rng = seeded(33);
+        let trials = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[sel.select(&cands, &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - probs[i]).abs() < 0.01, "i={i} freq={freq} prob={}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn far_outlier_gets_negligible_probability() {
+        let sel = PosteriorSelector::new(200.0);
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(50_000.0, 0.0),
+        ];
+        let p = sel.probabilities(&cands);
+        assert!(p[2] < 1e-6, "{p:?}");
+    }
+
+    #[test]
+    fn numerical_stability_with_huge_distances() {
+        let sel = PosteriorSelector::new(1.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(1e6, 0.0)];
+        let p = sel.probabilities(&cands);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_selector_is_uniform() {
+        let sel = UniformSelector::new();
+        let cands = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let mut rng = seeded(9);
+        let trials = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[sel.select(&cands, &mut rng)] += 1;
+        }
+        for c in counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_bad_sigma() {
+        let _ = PosteriorSelector::new(-1.0);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(PosteriorSelector::new(1.0).name(), "posterior");
+        assert_eq!(UniformSelector::new().name(), "uniform");
+    }
+}

@@ -1,0 +1,71 @@
+use privlocad_geo::Point;
+use rand::RngCore;
+
+/// A location privacy-preserving mechanism releasing a set of obfuscated
+/// locations for one real location.
+///
+/// All mechanisms in this crate — the n-fold Gaussian and both baselines —
+/// implement this trait so that the evaluation harness and the
+/// Edge-PrivLocAd obfuscation module can swap mechanisms freely.
+///
+/// The trait is object-safe: the Edge-PrivLocAd obfuscation module stores a
+/// `Box<dyn Lppm>` chosen at configuration time.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian, PlainComposition};
+///
+/// let params = GeoIndParams::new(500.0, 1.0, 0.01, 4)?;
+/// let mechanisms: Vec<Box<dyn Lppm>> = vec![
+///     Box::new(NFoldGaussian::new(params)),
+///     Box::new(PlainComposition::new(params)),
+/// ];
+/// let mut rng = seeded(1);
+/// for m in &mechanisms {
+///     assert_eq!(m.obfuscate(Point::ORIGIN, &mut rng).len(), 4);
+/// }
+/// # Ok::<(), privlocad_mechanisms::MechanismError>(())
+/// ```
+pub trait Lppm: Send + Sync {
+    /// Releases the obfuscated location set for `real`.
+    ///
+    /// The returned vector has exactly [`Lppm::output_count`] elements.
+    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point>;
+
+    /// The number of obfuscated locations released per call (`n`).
+    fn output_count(&self) -> usize;
+
+    /// A short human-readable mechanism name for reports and logs.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Identity;
+
+    impl Lppm for Identity {
+        fn obfuscate(&self, real: Point, _rng: &mut dyn RngCore) -> Vec<Point> {
+            vec![real]
+        }
+        fn output_count(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let m: Box<dyn Lppm> = Box::new(Identity);
+        let mut rng = privlocad_geo::rng::seeded(0);
+        let out = m.obfuscate(Point::new(1.0, 2.0), &mut rng);
+        assert_eq!(out, vec![Point::new(1.0, 2.0)]);
+        assert_eq!(m.output_count(), 1);
+        assert_eq!(m.name(), "identity");
+    }
+}

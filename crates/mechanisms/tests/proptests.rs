@@ -1,0 +1,117 @@
+//! Property-based tests for the mechanism crate's invariants.
+
+use privlocad_geo::{rng::seeded, Point};
+use privlocad_mechanisms::lambert_w::{w0, w_m1, INV_E};
+use privlocad_mechanisms::special::{normal_cdf, normal_quantile};
+use privlocad_mechanisms::verifier::{gaussian_delta, verify_nfold_gaussian};
+use privlocad_mechanisms::{
+    GeoIndParams, Lppm, NFoldGaussian, NaivePostProcessing, PlainComposition, PlanarLaplace,
+    PlanarLaplaceParams, PosteriorSelector,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lambert_w0_identity(x in -0.36f64..1e6) {
+        prop_assume!(x >= -INV_E);
+        let w = w0(x);
+        prop_assert!((w * w.exp() - x).abs() <= 1e-9 * (1.0 + x.abs()));
+    }
+
+    #[test]
+    fn lambert_w_m1_identity(x in -0.3678f64..-1e-12) {
+        prop_assume!(x >= -INV_E);
+        let w = w_m1(x);
+        prop_assert!((w * w.exp() - x).abs() <= 1e-9 * (1.0 + x.abs()));
+        prop_assert!(w <= -1.0 + 1e-7);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip(p in 0.0005f64..0.9995) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn laplace_quantile_round_trip(
+        l in 0.3f64..3.0,
+        r in 50.0f64..1_000.0,
+        p in 0.0f64..0.999,
+    ) {
+        let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(l, r).unwrap());
+        let radius = mech.radial_quantile(p);
+        prop_assert!(radius >= 0.0);
+        prop_assert!((mech.radial_cdf(radius) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gaussian_sigma_positive_and_monotone_in_n(
+        r in 100.0f64..2_000.0,
+        eps in 0.2f64..3.0,
+        n in 1usize..20,
+    ) {
+        let a = GeoIndParams::new(r, eps, 0.01, n).unwrap();
+        let b = GeoIndParams::new(r, eps, 0.01, n + 1).unwrap();
+        prop_assert!(a.sigma() > 0.0);
+        prop_assert!(b.sigma() > a.sigma());
+        // Sufficient statistic deviation is n-invariant (Theorem 2's core).
+        let sa = a.sigma() / (a.n() as f64).sqrt();
+        let sb = b.sigma() / (b.n() as f64).sqrt();
+        prop_assert!((sa - sb).abs() < 1e-9 * sa);
+    }
+
+    #[test]
+    fn all_mechanisms_release_declared_count(
+        n in 1usize..12,
+        seed in 0u64..1_000,
+        x in -10_000.0f64..10_000.0,
+        y in -10_000.0f64..10_000.0,
+    ) {
+        let params = GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap();
+        let mechs: Vec<Box<dyn Lppm>> = vec![
+            Box::new(NFoldGaussian::new(params)),
+            Box::new(NaivePostProcessing::new(params)),
+            Box::new(PlainComposition::new(params)),
+        ];
+        let mut rng = seeded(seed);
+        for m in &mechs {
+            let out = m.obfuscate(Point::new(x, y), &mut rng);
+            prop_assert_eq!(out.len(), n);
+            prop_assert_eq!(m.output_count(), n);
+            prop_assert!(out.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn verification_holds_across_parameter_grid(
+        r in 100.0f64..2_000.0,
+        eps in 0.2f64..3.0,
+        n in 1usize..20,
+    ) {
+        let v = verify_nfold_gaussian(GeoIndParams::new(r, eps, 0.01, n).unwrap());
+        prop_assert!(v.holds(), "achieved {} claimed {}", v.achieved_delta, v.claimed_delta);
+    }
+
+    #[test]
+    fn gaussian_delta_in_unit_interval(
+        eps in 0.01f64..5.0,
+        shift in 1.0f64..5_000.0,
+        sigma in 1.0f64..50_000.0,
+    ) {
+        let d = gaussian_delta(eps, shift, sigma);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn posterior_probabilities_form_distribution(
+        sigma in 10.0f64..5_000.0,
+        pts in proptest::collection::vec((-5_000.0f64..5_000.0, -5_000.0f64..5_000.0), 1..15),
+    ) {
+        let cands: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        let sel = PosteriorSelector::new(sigma);
+        let probs = sel.probabilities(&cands);
+        prop_assert_eq!(probs.len(), cands.len());
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the metrics crate.
+
+use privlocad_geo::{rng::seeded, Circle, Point};
+use privlocad_mechanisms::{GeoIndParams, NFoldGaussian, PosteriorSelector};
+use privlocad_metrics::stats::{min_rate_at_confidence, quantile, Ecdf, Summary};
+use privlocad_metrics::{efficacy, utilization};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantile_between_min_and_max(
+        xs in proptest::collection::vec(-1e6..1e6f64, 1..100),
+        q in 0.0..=1.0f64,
+    ) {
+        let v = quantile(&xs, q);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(
+        xs in proptest::collection::vec(-1e3..1e3f64, 2..60),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn min_rate_decreases_with_confidence(
+        xs in proptest::collection::vec(0.0..1.0f64, 5..100),
+        a1 in 0.05..0.95f64,
+        da in 0.0..0.04f64,
+    ) {
+        prop_assert!(
+            min_rate_at_confidence(&xs, a1 + da) <= min_rate_at_confidence(&xs, a1) + 1e-9
+        );
+    }
+
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1e4..1e4f64, 1..80)) {
+        let s = Summary::of(&xs);
+        prop_assert_eq!(s.count, xs.len());
+        prop_assert!(s.min <= s.median + 1e-9 && s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_cdf(
+        xs in proptest::collection::vec(-100.0..100.0f64, 0..60),
+        probe in proptest::collection::vec(-150.0..150.0f64, 2..10),
+    ) {
+        let e = Ecdf::new(&xs);
+        let mut sorted_probe = probe.clone();
+        sorted_probe.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ys = e.eval_many(&sorted_probe);
+        for w in ys.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for y in ys {
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn lens_coverage_consistency(d in 0.0..15_000.0f64) {
+        // Grid union coverage of a single AOR must track the exact lens.
+        let aoi = Circle::new(Point::ORIGIN, 5_000.0).unwrap();
+        let exact = utilization::analytic(&aoi, Point::new(d, 0.0));
+        let grid = utilization::coverage_grid(&aoi, &[Point::new(d, 0.0)], 250);
+        prop_assert!((exact - grid).abs() < 0.02, "d={d}: exact {exact} grid {grid}");
+    }
+
+    #[test]
+    fn union_coverage_monotone_in_centers(
+        centers in proptest::collection::vec((-8_000.0..8_000.0f64, -8_000.0..8_000.0f64), 1..6),
+    ) {
+        let aoi = Circle::new(Point::ORIGIN, 5_000.0).unwrap();
+        let pts: Vec<Point> = centers.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut prev = 0.0;
+        for k in 1..=pts.len() {
+            let cov = utilization::coverage_grid(&aoi, &pts[..k], 120);
+            prop_assert!(cov >= prev - 1e-9, "coverage dropped when adding a center");
+            prev = cov;
+        }
+    }
+
+    #[test]
+    fn measured_ur_and_efficacy_in_unit_interval(
+        n in 1usize..8,
+        eps in 0.5..2.0f64,
+        seed in 0u64..50,
+    ) {
+        let mech = NFoldGaussian::new(GeoIndParams::new(500.0, eps, 0.01, n).unwrap());
+        let urs = utilization::measure_with(&mech, 5_000.0, 20, seed, 64);
+        prop_assert!(urs.iter().all(|u| (0.0..=1.0).contains(u)));
+        let sel = PosteriorSelector::new(mech.sigma());
+        let es = efficacy::measure(&mech, &sel, 5_000.0, 20, seed);
+        prop_assert!(es.iter().all(|e| (0.0..=1.0).contains(e)));
+    }
+
+    #[test]
+    fn coverage_sampled_close_to_grid(
+        x in -6_000.0..6_000.0f64,
+        y in -6_000.0..6_000.0f64,
+    ) {
+        let aoi = Circle::new(Point::ORIGIN, 5_000.0).unwrap();
+        let centers = [Point::new(x, y)];
+        let grid = utilization::coverage_grid(&aoi, &centers, 200);
+        let mut rng = seeded(1);
+        let mc = utilization::coverage_sampled(&aoi, &centers, 4_000, &mut rng);
+        prop_assert!((grid - mc).abs() < 0.05, "grid {grid} mc {mc}");
+    }
+}

@@ -1,0 +1,80 @@
+use privlocad_geo::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::Timestamp;
+
+/// A synthetic user's identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        UserId(id)
+    }
+
+    /// The raw numeric id.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user-{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(id: u32) -> Self {
+        UserId(id)
+    }
+}
+
+/// One raw spatiotemporal data point — what the paper calls a *check-in*.
+///
+/// The location is the user's **true** position (with GPS jitter); the
+/// obfuscated version observed by the ad network is produced downstream by
+/// an LPPM or by the Edge-PrivLocAd pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckIn {
+    /// The user who triggered the check-in.
+    pub user: UserId,
+    /// When the check-in happened.
+    pub time: Timestamp,
+    /// True planar location (meters in the study projection).
+    pub location: Point,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_round_trip() {
+        let id = UserId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(UserId::from(42u32), id);
+        assert_eq!(id.to_string(), "user-42");
+    }
+
+    #[test]
+    fn user_ids_order() {
+        assert!(UserId::new(1) < UserId::new(2));
+    }
+
+    #[test]
+    fn checkin_is_copy_and_comparable() {
+        let c = CheckIn {
+            user: UserId::new(1),
+            time: Timestamp::new(100),
+            location: Point::new(1.0, 2.0),
+        };
+        let d = c;
+        assert_eq!(c, d);
+    }
+}

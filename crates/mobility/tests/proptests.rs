@@ -1,0 +1,67 @@
+//! Property-based tests for the synthetic population generator.
+
+use privlocad_geo::LocalProjection;
+use privlocad_mobility::{shanghai, PopulationConfig, DAYS_IN_STUDY};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_user_is_well_formed(seed in 0u64..500, index in 0u32..20) {
+        let config = PopulationConfig::builder().num_users(20).seed(seed).build();
+        let u = config.generate_user(index);
+        // Count bounds.
+        prop_assert!((20..=11_435).contains(&u.checkins.len()));
+        // Ranked, normalized ground truth.
+        prop_assert!((2..=6).contains(&u.truth.top_locations.len()));
+        prop_assert_eq!(u.truth.top_locations.len(), u.truth.shares.len());
+        let total: f64 = u.truth.shares.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for w in u.truth.shares.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Time-sorted, in-window check-ins inside the study area.
+        let proj: LocalProjection = shanghai::projection();
+        let bbox = shanghai::bounding_box();
+        for w in u.checkins.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for c in &u.checkins {
+            prop_assert!((0..DAYS_IN_STUDY).contains(&c.time.day()));
+            let geo = proj.to_geo(c.location).expect("check-in re-projects");
+            prop_assert!(bbox.contains(geo), "check-in escaped the study area: {geo}");
+        }
+    }
+
+    #[test]
+    fn top_locations_pairwise_distinct(seed in 0u64..200) {
+        let config = PopulationConfig::builder().num_users(4).seed(seed).build();
+        let u = config.generate_user(0);
+        let tops = &u.truth.top_locations;
+        for i in 0..tops.len() {
+            for j in (i + 1)..tops.len() {
+                prop_assert!(
+                    tops[i].distance(tops[j]) >= 2_000.0 - 1e-6,
+                    "tops {i} and {j} are {} m apart",
+                    tops[i].distance(tops[j])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_checkin_range_respected(
+        seed in 0u64..100,
+        min in 20usize..60,
+        extra in 1usize..200,
+    ) {
+        let config = PopulationConfig::builder()
+            .num_users(3)
+            .seed(seed)
+            .checkin_range(min, min + extra)
+            .build();
+        let u = config.generate_user(1);
+        prop_assert!((min..=min + extra).contains(&u.checkins.len()));
+    }
+}

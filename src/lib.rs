@@ -1,0 +1,14 @@
+//! Umbrella package for the Edge-PrivLocAd reproduction.
+//!
+//! This crate exists so that the repository root can host the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! It re-exports every workspace crate under one roof; downstream code should
+//! depend on the individual crates directly.
+
+pub use privlocad;
+pub use privlocad_adnet as adnet;
+pub use privlocad_attack as attack;
+pub use privlocad_geo as geo;
+pub use privlocad_mechanisms as mechanisms;
+pub use privlocad_metrics as metrics;
+pub use privlocad_mobility as mobility;

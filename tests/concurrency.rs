@@ -1,0 +1,93 @@
+//! Concurrency integration tests: the evaluation pipeline and the
+//! mechanisms are safe and deterministic under parallel use.
+
+use std::sync::Arc;
+
+use privlocad::{EdgeDevice, SystemConfig};
+use privlocad_geo::{rng::seeded, Point};
+use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian};
+use privlocad_metrics::montecarlo::{run_trials, run_trials_with_workers};
+use privlocad_metrics::utilization;
+use privlocad_mobility::UserId;
+
+#[test]
+fn shared_mechanism_across_threads() {
+    let mech: Arc<dyn Lppm> =
+        Arc::new(NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 5).unwrap()));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let mech = Arc::clone(&mech);
+            std::thread::spawn(move || {
+                let mut rng = seeded(t);
+                (0..200).map(|_| mech.obfuscate(Point::ORIGIN, &mut rng).len()).sum::<usize>()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 200 * 5);
+    }
+}
+
+#[test]
+fn monte_carlo_results_independent_of_worker_count() {
+    let mech = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 3).unwrap());
+    let a = utilization::measure(&mech, 5_000.0, 500, 9);
+    let b = utilization::measure(&mech, 5_000.0, 500, 9);
+    assert_eq!(a, b);
+    let one = run_trials_with_workers(100, 3, 1, |i, rng| {
+        utilization::coverage_sampled(
+            &privlocad_geo::Circle::new(Point::ORIGIN, 5_000.0).unwrap(),
+            &mech.obfuscate(Point::new(i as f64, 0.0), rng),
+            64,
+            rng,
+        )
+    });
+    let many = run_trials_with_workers(100, 3, 16, |i, rng| {
+        utilization::coverage_sampled(
+            &privlocad_geo::Circle::new(Point::ORIGIN, 5_000.0).unwrap(),
+            &mech.obfuscate(Point::new(i as f64, 0.0), rng),
+            64,
+            rng,
+        )
+    });
+    assert_eq!(one, many);
+}
+
+#[test]
+fn independent_edge_devices_run_in_parallel() {
+    // Each thread owns an edge device for a disjoint user shard — the
+    // deployment model of a fleet of edge devices.
+    let config = SystemConfig::builder().build().unwrap();
+    let handles: Vec<_> = (0..4u64)
+        .map(|shard| {
+            std::thread::spawn(move || {
+                let mut edge = EdgeDevice::new(config, shard);
+                for u in 0..50u32 {
+                    let user = UserId::new(u);
+                    let home = Point::new(u as f64 * 1_000.0, shard as f64 * 1_000.0);
+                    for _ in 0..20 {
+                        edge.report_checkin(user, home);
+                    }
+                    edge.finalize_window(user);
+                    assert!(edge.candidates(user, home).is_some());
+                }
+                edge.user_count()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 50);
+    }
+}
+
+#[test]
+fn parallel_trials_scale_without_changing_results() {
+    let xs = run_trials(1_000, 5, |i, rng| {
+        use rand::Rng;
+        i as f64 + rng.gen::<f64>()
+    });
+    assert_eq!(xs.len(), 1_000);
+    for (i, x) in xs.iter().enumerate() {
+        assert!(*x >= i as f64 && *x < i as f64 + 1.0);
+    }
+}
