@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *decorates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes at runtime (the wire protocol uses
+//! hand-written binary framing). This crate therefore provides empty marker
+//! traits plus the no-op derives from the vendored `serde_derive`, keeping
+//! every `use serde::{Deserialize, Serialize}` and `#[derive(...)]` site
+//! compiling unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// Derive macros live in a separate namespace, so re-exporting them under the
+// trait names mirrors the real crate's layout.
+pub use serde_derive::{Deserialize, Serialize};

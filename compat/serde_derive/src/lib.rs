@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//!
+//! The workspace decorates types with serde derives but never serializes at
+//! runtime, so the derives can legally expand to nothing: a derive macro is
+//! only required to emit *additional* items, and zero items is valid. The
+//! `serde` attribute is registered so `#[serde(...)]` field/container
+//! attributes, should any appear, do not become compile errors.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,5 +1,5 @@
 use privlocad_geo::grid::SpatialGrid;
-use privlocad_geo::{centroid, Point};
+use privlocad_geo::Point;
 
 /// A cluster of check-in indices produced by [`connectivity_clusters`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,8 +30,14 @@ impl Cluster {
     ///
     /// Panics if a member index is out of bounds for `points`.
     pub fn centroid(&self, points: &[Point]) -> Option<Point> {
-        let pts: Vec<Point> = self.members.iter().map(|&i| points[i]).collect();
-        centroid(&pts)
+        if self.members.is_empty() {
+            return None;
+        }
+        let mut sum = Point::ORIGIN;
+        for &i in &self.members {
+            sum += points[i];
+        }
+        Some(Point::new(sum.x / self.members.len() as f64, sum.y / self.members.len() as f64))
     }
 }
 
@@ -68,14 +74,49 @@ impl Cluster {
 /// assert_eq!(clusters[1].members, vec![3]);
 /// ```
 pub fn connectivity_clusters(points: &[Point], theta: f64) -> Vec<Cluster> {
+    connectivity_clusters_with(points, theta, &mut ClusterScratch::default())
+}
+
+/// Reusable buffers for [`connectivity_clusters_with`]: the spatial grid
+/// and its per-query neighbor list survive across calls, so repeated
+/// clustering passes (one per extracted rank in Algorithm 1, one per trial
+/// in the Monte-Carlo sweeps) stop re-allocating the acceleration
+/// structure every time.
+///
+/// The scratch is pure acceleration state — results are identical whether
+/// a scratch is fresh or carried over from any previous call.
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    grid: Option<SpatialGrid>,
+    neighbors: Vec<usize>,
+}
+
+/// [`connectivity_clusters`] with caller-owned scratch buffers.
+///
+/// # Panics
+///
+/// Panics if `theta` is not positive and finite.
+pub fn connectivity_clusters_with(
+    points: &[Point],
+    theta: f64,
+    scratch: &mut ClusterScratch,
+) -> Vec<Cluster> {
     assert!(theta.is_finite() && theta > 0.0, "theta must be positive and finite");
     if points.is_empty() {
         return Vec::new();
     }
-    let grid = SpatialGrid::build(points, theta);
+    let ClusterScratch { grid, neighbors } = scratch;
+    let grid = match grid {
+        Some(g) => {
+            g.rebuild(points, theta);
+            g
+        }
+        None => grid.insert(SpatialGrid::build(points, theta)),
+    };
     let mut dsu = DisjointSet::new(points.len());
-    for i in 0..points.len() {
-        for j in grid.neighbors_within(points[i], theta) {
+    for (i, &point) in points.iter().enumerate() {
+        grid.neighbors_within_into(point, theta, neighbors);
+        for &j in neighbors.iter() {
             if j > i {
                 dsu.union(i, j);
             }
@@ -229,5 +270,19 @@ mod tests {
     #[should_panic(expected = "theta must be positive")]
     fn rejects_bad_theta() {
         let _ = connectivity_clusters(&[Point::ORIGIN], f64::NAN);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_clustering() {
+        let mut rng = seeded(13);
+        let mut scratch = ClusterScratch::default();
+        for round in 0..4 {
+            let pts: Vec<Point> = (0..300)
+                .map(|_| gaussian_2d(&mut rng, 1_000.0 + 500.0 * round as f64))
+                .collect();
+            let fresh = connectivity_clusters(&pts, 50.0);
+            let reused = connectivity_clusters_with(&pts, 50.0, &mut scratch);
+            assert_eq!(fresh, reused, "round {round}");
+        }
     }
 }

@@ -1,8 +1,8 @@
-use privlocad_geo::{centroid, Point};
+use privlocad_geo::Point;
 use privlocad_mechanisms::{MechanismError, NFoldGaussian, PlanarLaplace};
 use serde::{Deserialize, Serialize};
 
-use crate::connectivity_clusters;
+use crate::clustering::{connectivity_clusters_with, ClusterScratch};
 
 /// Configuration of the top-n de-obfuscation attack (Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -125,46 +125,72 @@ impl DeobfuscationAttack {
     ///
     /// Fewer than `k` locations are returned if the check-ins run out.
     pub fn infer_top_locations(&self, checkins: &[Point], k: usize) -> Vec<InferredLocation> {
-        let mut pool: Vec<Point> = checkins.to_vec();
+        self.infer_top_locations_with(checkins, k, &mut AttackScratch::default())
+    }
+
+    /// [`DeobfuscationAttack::infer_top_locations`] with caller-owned
+    /// scratch buffers.
+    ///
+    /// Monte-Carlo sweeps run the attack once per trial over fresh
+    /// check-in streams; passing the same [`AttackScratch`] keeps the
+    /// spatial grid and working buffers allocated across trials. The
+    /// scratch never changes results — it is pure acceleration state.
+    pub fn infer_top_locations_with(
+        &self,
+        checkins: &[Point],
+        k: usize,
+        scratch: &mut AttackScratch,
+    ) -> Vec<InferredLocation> {
+        let pool = &mut scratch.pool;
+        pool.clear();
+        pool.extend_from_slice(checkins);
         let mut results = Vec::with_capacity(k);
         for rank in 0..k {
             if pool.is_empty() {
                 break;
             }
-            let clusters = connectivity_clusters(&pool, self.config.theta);
+            let clusters = connectivity_clusters_with(pool, self.config.theta, &mut scratch.clusters);
             let seed_members = clusters[0].members.clone();
             let members = if self.config.trimming {
-                self.trim(&pool, seed_members)
+                self.trim(pool, seed_members, &mut scratch.in_cluster)
             } else {
                 seed_members
             };
-            let member_points: Vec<Point> = members.iter().map(|&i| pool[i]).collect();
-            let center = centroid(&member_points).expect("non-empty cluster");
+            let center = mean_of(pool, &members).expect("non-empty cluster");
             results.push(InferredLocation { rank, location: center, support: members.len() });
-            // Remove the absorbed check-ins before extracting the next rank.
-            let member_set: std::collections::HashSet<usize> = members.into_iter().collect();
-            pool = pool
-                .into_iter()
-                .enumerate()
-                .filter(|(i, _)| !member_set.contains(i))
-                .map(|(_, p)| p)
-                .collect();
+            // Remove the absorbed check-ins before extracting the next
+            // rank, compacting the pool in place.
+            let absorbed = &mut scratch.in_cluster;
+            absorbed.clear();
+            absorbed.resize(pool.len(), false);
+            for &i in &members {
+                absorbed[i] = true;
+            }
+            let mut kept = 0;
+            for i in 0..pool.len() {
+                if !absorbed[i] {
+                    pool[kept] = pool[i];
+                    kept += 1;
+                }
+            }
+            pool.truncate(kept);
         }
         results
     }
 
     /// The trimming fixpoint of Algorithm 1 (lines 10–19): returns the
-    /// final member indices into `pool`.
-    fn trim(&self, pool: &[Point], seed: Vec<usize>) -> Vec<usize> {
+    /// final member indices into `pool`. `in_cluster` is a reused
+    /// membership bitmap.
+    fn trim(&self, pool: &[Point], seed: Vec<usize>, in_cluster: &mut Vec<bool>) -> Vec<usize> {
         let r_sq = self.config.cluster_radius * self.config.cluster_radius;
-        let mut in_cluster = vec![false; pool.len()];
+        in_cluster.clear();
+        in_cluster.resize(pool.len(), false);
         for &i in &seed {
             in_cluster[i] = true;
         }
         let mut members = seed.clone();
         for _ in 0..self.config.max_trim_iterations {
-            let pts: Vec<Point> = members.iter().map(|&i| pool[i]).collect();
-            let Some(center) = centroid(&pts) else { break };
+            let Some(center) = mean_of(pool, &members) else { break };
             let mut changed = false;
             // Discard members beyond r_α of the centroid…
             for &i in &members {
@@ -180,7 +206,8 @@ impl DeobfuscationAttack {
                     changed = true;
                 }
             }
-            members = (0..pool.len()).filter(|&i| in_cluster[i]).collect();
+            members.clear();
+            members.extend((0..pool.len()).filter(|&i| in_cluster[i]));
             if !changed {
                 break;
             }
@@ -195,6 +222,29 @@ impl DeobfuscationAttack {
         }
         members
     }
+}
+
+/// Streaming mean of the points selected by `members` — no temporary
+/// point buffer.
+fn mean_of(pool: &[Point], members: &[usize]) -> Option<Point> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut sum = Point::ORIGIN;
+    for &i in members {
+        sum += pool[i];
+    }
+    Some(Point::new(sum.x / members.len() as f64, sum.y / members.len() as f64))
+}
+
+/// Reusable working memory for [`DeobfuscationAttack::infer_top_locations_with`]:
+/// the clustering grid, the mutable check-in pool, and the trimming
+/// membership bitmap all survive across invocations.
+#[derive(Debug, Default)]
+pub struct AttackScratch {
+    clusters: ClusterScratch,
+    pool: Vec<Point>,
+    in_cluster: Vec<bool>,
 }
 
 #[cfg(test)]
@@ -363,6 +413,26 @@ mod tests {
         let mech = laplace(2f64.ln());
         assert!(DeobfuscationAttack::for_planar_laplace(&mech, 0.0).is_err());
         assert!(DeobfuscationAttack::for_planar_laplace(&mech, 1.0).is_err());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_inference() {
+        let mech = laplace(4f64.ln());
+        let attack = DeobfuscationAttack::for_planar_laplace(&mech, 0.05).unwrap();
+        let mut scratch = AttackScratch::default();
+        for seed in 0..3u64 {
+            let obs = observed_checkins(
+                &mech,
+                Point::new(0.0, 0.0),
+                400,
+                Point::new(10_000.0, 0.0),
+                200,
+                80 + seed,
+            );
+            let fresh = attack.infer_top_locations(&obs, 2);
+            let reused = attack.infer_top_locations_with(&obs, 2, &mut scratch);
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod patterns;
 mod profiling;
 pub mod semantics;
 
-pub use clustering::{connectivity_clusters, Cluster};
-pub use deobfuscation::{AttackConfig, DeobfuscationAttack, InferredLocation};
+pub use clustering::{connectivity_clusters, connectivity_clusters_with, Cluster, ClusterScratch};
+pub use deobfuscation::{AttackConfig, AttackScratch, DeobfuscationAttack, InferredLocation};
 pub use online::OnlineAttack;
 pub use profiling::{LocationProfile, ProfileEntry};

@@ -155,7 +155,7 @@ mod tests {
     fn unsorted_input_is_sorted_internally() {
         let observations = vec![
             obs(3 * 3_600, 9_000.0),
-            obs(1 * 3_600, 0.0),
+            obs(3_600, 0.0),
             obs(5 * 3_600, 0.0),
         ];
         let tops = [top(0, 0.0), top(1, 9_000.0)];

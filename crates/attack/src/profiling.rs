@@ -68,7 +68,7 @@ impl LocationProfile {
     /// device already knows which place each check-in belongs to.
     pub fn from_entries<I: IntoIterator<Item = ProfileEntry>>(entries: I) -> Self {
         let mut entries: Vec<ProfileEntry> = entries.into_iter().collect();
-        entries.sort_by(|a, b| b.frequency.cmp(&a.frequency));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.frequency));
         let total = entries.iter().map(|e| e.frequency).sum();
         LocationProfile { entries, total }
     }

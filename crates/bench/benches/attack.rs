@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the longitudinal attack pipeline: profiling
+//! Microbenchmarks of the longitudinal attack pipeline: profiling
 //! (connectivity clustering) and Algorithm 1's top-n inference at
 //! realistic per-user check-in volumes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privlocad_attack::{DeobfuscationAttack, LocationProfile};
+use privlocad_bench::microbench::Runner;
 use privlocad_geo::{rng::seeded, Point};
 use privlocad_mechanisms::{Lppm, PlanarLaplace, PlanarLaplaceParams};
 
@@ -21,31 +21,29 @@ fn workload(checkins: usize) -> Vec<Point> {
     pts
 }
 
-fn bench_profiling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling");
-    group.sample_size(20);
+fn bench_profiling(runner: &mut Runner) {
     for m in [500usize, 2_000] {
         let pts = workload(m);
-        group.bench_with_input(BenchmarkId::new("from_checkins", m), &m, |b, _| {
-            b.iter(|| LocationProfile::from_checkins(std::hint::black_box(&pts), 50.0))
+        runner.bench(&format!("profiling/from_checkins/{m}"), || {
+            LocationProfile::from_checkins(std::hint::black_box(&pts), 50.0)
         });
     }
-    group.finish();
 }
 
-fn bench_deobfuscation(c: &mut Criterion) {
+fn bench_deobfuscation(runner: &mut Runner) {
     let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
     let attack = DeobfuscationAttack::for_planar_laplace(&mech, 0.05).unwrap();
-    let mut group = c.benchmark_group("deobfuscation");
-    group.sample_size(10);
     for m in [500usize, 2_000] {
         let pts = workload(m);
-        group.bench_with_input(BenchmarkId::new("top2", m), &m, |b, _| {
-            b.iter(|| attack.infer_top_locations(std::hint::black_box(&pts), 2))
+        runner.bench(&format!("deobfuscation/top2/{m}"), || {
+            attack.infer_top_locations(std::hint::black_box(&pts), 2)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_profiling, bench_deobfuscation);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_profiling(&mut runner);
+    bench_deobfuscation(&mut runner);
+    runner.finish();
+}

@@ -1,10 +1,10 @@
-//! Criterion version of Tables II and III: edge-device batch profile
+//! Microbenchmark version of Tables II and III: edge-device batch profile
 //! building and per-request output selection as the user count grows.
 //! The assertion target is the ~linear scaling the paper reports for its
 //! Raspberry Pi 3 deployment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use privlocad::{EdgeDevice, SystemConfig};
+use privlocad_bench::microbench::Runner;
 use privlocad_geo::rng::{gaussian_2d, seeded};
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
@@ -28,15 +28,14 @@ fn windows(users: usize) -> Vec<Vec<Point>> {
         .collect()
 }
 
-fn bench_table2_profile_build(c: &mut Criterion) {
+fn bench_table2_profile_build(runner: &mut Runner) {
     let sys = SystemConfig::builder().build().unwrap();
-    let mut group = c.benchmark_group("table2_obfuscation_processing");
-    group.sample_size(10);
     for users in [200usize, 400, 800] {
         let data = windows(users);
-        group.throughput(Throughput::Elements(users as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
-            b.iter(|| {
+        runner.bench_throughput(
+            &format!("table2_obfuscation_processing/{users}"),
+            users as u64,
+            || {
                 let mut edge = EdgeDevice::new(sys, 1);
                 for (i, window) in data.iter().enumerate() {
                     let user = UserId::new(i as u32);
@@ -46,15 +45,13 @@ fn bench_table2_profile_build(c: &mut Criterion) {
                     edge.finalize_window(user);
                 }
                 edge.user_count()
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_table3_output_selection(c: &mut Criterion) {
+fn bench_table3_output_selection(runner: &mut Runner) {
     let sys = SystemConfig::builder().build().unwrap();
-    let mut group = c.benchmark_group("table3_output_selection");
     for users in [200usize, 400, 800] {
         let data = windows(users);
         let mut edge = EdgeDevice::new(sys, 2);
@@ -66,17 +63,21 @@ fn bench_table3_output_selection(c: &mut Criterion) {
             }
             edge.finalize_window(user);
         }
-        group.throughput(Throughput::Elements(users as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
-            b.iter(|| {
+        runner.bench_throughput(
+            &format!("table3_output_selection/{users}"),
+            users as u64,
+            || {
                 for (i, &home) in homes.iter().enumerate() {
                     std::hint::black_box(edge.reported_location(UserId::new(i as u32), home));
                 }
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_table2_profile_build, bench_table3_output_selection);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_table2_profile_build(&mut runner);
+    bench_table3_output_selection(&mut runner);
+    runner.finish();
+}

@@ -1,24 +1,23 @@
-//! Criterion microbenchmarks of the privacy mechanisms: per-release cost
-//! of the planar Laplace, n-fold Gaussian, and the two baselines, plus the
+//! Microbenchmarks of the privacy mechanisms: per-release cost of the
+//! planar Laplace, n-fold Gaussian, and the two baselines, plus the
 //! posterior output selection (the hot path of every ad request).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privlocad_bench::microbench::Runner;
 use privlocad_geo::{rng::seeded, Point};
 use privlocad_mechanisms::{
     GeoIndParams, Lppm, NFoldGaussian, NaivePostProcessing, PlainComposition, PlanarLaplace,
     PlanarLaplaceParams, PosteriorSelector, SelectionStrategy,
 };
 
-fn bench_planar_laplace(c: &mut Criterion) {
+fn bench_planar_laplace(runner: &mut Runner) {
     let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
     let mut rng = seeded(1);
-    c.bench_function("planar_laplace/sample", |b| {
-        b.iter(|| mech.sample(std::hint::black_box(Point::new(1.0, 2.0)), &mut rng))
+    runner.bench("planar_laplace/sample", || {
+        mech.sample(std::hint::black_box(Point::new(1.0, 2.0)), &mut rng)
     });
 }
 
-fn bench_obfuscation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("obfuscate");
+fn bench_obfuscation(runner: &mut Runner) {
     for n in [1usize, 5, 10] {
         let params = GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap();
         let mechs: Vec<(&str, Box<dyn Lppm>)> = vec![
@@ -28,28 +27,33 @@ fn bench_obfuscation(c: &mut Criterion) {
         ];
         for (name, mech) in mechs {
             let mut rng = seeded(2);
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| mech.obfuscate(std::hint::black_box(Point::ORIGIN), &mut rng))
+            let mut out = Vec::with_capacity(n);
+            runner.bench(&format!("obfuscate/{name}/{n}"), || {
+                out.clear();
+                mech.obfuscate_into(std::hint::black_box(Point::ORIGIN), &mut rng, &mut out);
+                out.len()
             });
         }
     }
-    group.finish();
 }
 
-fn bench_output_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("output_selection");
+fn bench_output_selection(runner: &mut Runner) {
     for n in [5usize, 10, 50] {
         let params = GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap();
         let mech = NFoldGaussian::new(params);
         let mut rng = seeded(3);
         let candidates = mech.obfuscate(Point::ORIGIN, &mut rng);
         let selector = PosteriorSelector::new(mech.sigma());
-        group.bench_with_input(BenchmarkId::new("posterior", n), &n, |b, _| {
-            b.iter(|| selector.select(std::hint::black_box(&candidates), &mut rng))
+        runner.bench(&format!("output_selection/posterior/{n}"), || {
+            selector.select(std::hint::black_box(&candidates), &mut rng)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_planar_laplace, bench_obfuscation, bench_output_selection);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_planar_laplace(&mut runner);
+    bench_obfuscation(&mut runner);
+    bench_output_selection(&mut runner);
+    runner.finish();
+}

@@ -1,48 +1,50 @@
-//! Criterion benchmarks of the utility-metric evaluation pipeline: the
-//! cost of one utilization-rate trial (exact lens vs sampled union) and
-//! the parallel Monte-Carlo runner's throughput — what bounds how fast the
+//! Microbenchmarks of the utility-metric evaluation pipeline: the cost of
+//! one utilization-rate trial (exact lens vs sampled union) and the
+//! parallel Monte-Carlo runner's throughput — what bounds how fast the
 //! Fig. 7–9 sweeps run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privlocad_bench::microbench::Runner;
 use privlocad_geo::{rng::seeded, Circle, Point};
 use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian};
 use privlocad_metrics::utilization;
 
-fn bench_lens_area(c: &mut Criterion) {
+fn bench_lens_area(runner: &mut Runner) {
     let aoi = Circle::new(Point::ORIGIN, 5_000.0).unwrap();
-    c.bench_function("utilization/analytic_lens", |b| {
-        b.iter(|| utilization::analytic(&aoi, std::hint::black_box(Point::new(3_000.0, 1_000.0))))
+    runner.bench("utilization/analytic_lens", || {
+        utilization::analytic(&aoi, std::hint::black_box(Point::new(3_000.0, 1_000.0)))
     });
 }
 
-fn bench_union_coverage(c: &mut Criterion) {
+fn bench_union_coverage(runner: &mut Runner) {
     let aoi = Circle::new(Point::ORIGIN, 5_000.0).unwrap();
     let mech = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 10).unwrap());
     let mut rng = seeded(5);
     let centers = mech.obfuscate(Point::ORIGIN, &mut rng);
-    let mut group = c.benchmark_group("utilization/coverage_sampled");
     for samples in [128usize, 512, 2_048] {
-        group.throughput(Throughput::Elements(samples as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
-            let mut rng = seeded(9);
-            b.iter(|| utilization::coverage_sampled(&aoi, &centers, s, &mut rng))
-        });
+        let mut rng = seeded(9);
+        runner.bench_throughput(
+            &format!("utilization/coverage_sampled/{samples}"),
+            samples as u64,
+            || utilization::coverage_sampled(&aoi, &centers, samples, &mut rng),
+        );
     }
-    group.finish();
 }
 
-fn bench_measure_pipeline(c: &mut Criterion) {
+fn bench_measure_pipeline(runner: &mut Runner) {
     let mech = NFoldGaussian::new(GeoIndParams::new(500.0, 1.0, 0.01, 10).unwrap());
-    let mut group = c.benchmark_group("utilization/measure");
-    group.sample_size(10);
     for trials in [500usize, 2_000] {
-        group.throughput(Throughput::Elements(trials as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
-            b.iter(|| utilization::measure(&mech, 5_000.0, t, 1))
-        });
+        runner.bench_throughput(
+            &format!("utilization/measure/{trials}"),
+            trials as u64,
+            || utilization::measure(&mech, 5_000.0, trials, 1),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_lens_area, bench_union_coverage, bench_measure_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::new();
+    bench_lens_area(&mut runner);
+    bench_union_coverage(&mut runner);
+    bench_measure_pipeline(&mut runner);
+    runner.finish();
+}

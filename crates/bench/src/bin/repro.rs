@@ -20,16 +20,25 @@
 //!   --users N        population size (fig3/fig6)
 //!   --trials N       Monte-Carlo trials per cell (fig7/fig8/fig9)
 //!   --seed N         master seed (default 0)
+//!   --threads N      worker threads for the parallel experiments
+//!                    (fig7/fig8/fig9/table2/table3/verify; default 0 =
+//!                    auto). Results are bit-for-bit identical for any
+//!                    value — per-trial/per-user randomness is derived
+//!                    from (seed, index), never from the thread layout —
+//!                    so only the wall-clock changes.
 //!   --theta M        attack connectivity threshold in meters (fig4)
 //!   --full           paper-scale settings (37,262 users / 100k trials /
 //!                    2k–32k edge users) — slow
 //!   --no-trimming    ablation: disable Algorithm 1's trimming stage (fig6)
 //!   --no-ablation    skip the uniform-selection ablation (fig9)
 //!   --csv DIR        also write each table as CSV under DIR
+//!   --bench-json F   write per-experiment wall-clock timings as JSON
+//!                    (default BENCH_repro.json in the working directory)
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use privlocad_bench::report::Table;
 use privlocad_bench::{fig2, fig3, fig4, fig6, fig7, fig8, fig9, tables, verify};
@@ -40,16 +49,19 @@ struct Options {
     users: Option<usize>,
     trials: Option<usize>,
     seed: u64,
+    threads: usize,
     theta: Option<f64>,
     full: bool,
     no_trimming: bool,
     no_ablation: bool,
     csv_dir: Option<PathBuf>,
+    bench_json: PathBuf,
 }
 
 fn usage() -> &'static str {
     "usage: repro <fig2|fig3|fig4|fig6|fig7|fig8|fig9|table2|table3|verify|all> \
-     [--users N] [--trials N] [--seed N] [--full] [--no-trimming] [--no-ablation] [--csv DIR]"
+     [--users N] [--trials N] [--seed N] [--threads N] [--full] [--no-trimming] \
+     [--no-ablation] [--csv DIR] [--bench-json FILE]"
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -60,11 +72,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
         users: None,
         trials: None,
         seed: 0,
+        threads: 0,
         theta: None,
         full: false,
         no_trimming: false,
         no_ablation: false,
         csv_dir: None,
+        bench_json: PathBuf::from("BENCH_repro.json"),
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +94,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+            }
             "--theta" => {
                 let v = it.next().ok_or("--theta needs a value (meters)")?;
                 opts.theta = Some(v.parse().map_err(|_| format!("bad --theta {v}"))?);
@@ -91,10 +109,81 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(v));
             }
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = PathBuf::from(v);
+            }
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
     Ok(opts)
+}
+
+/// One timed experiment for the machine-readable benchmark log.
+#[derive(Debug, Clone)]
+struct BenchEntry {
+    name: String,
+    wall_ms: f64,
+    users: Option<usize>,
+    trials: Option<usize>,
+}
+
+/// Collects per-experiment wall-clock timings and renders them as JSON
+/// (hand-rolled — the workspace is offline and carries no JSON dependency).
+#[derive(Debug, Default)]
+struct BenchLog {
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchLog {
+    fn timed<F>(&mut self, name: &str, f: F)
+    where
+        F: FnOnce() -> (Option<usize>, Option<usize>),
+    {
+        let start = Instant::now();
+        let (users, trials) = f();
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            users,
+            trials,
+        });
+    }
+
+    fn to_json(&self, opts: &Options) -> String {
+        fn opt(v: Option<usize>) -> String {
+            v.map_or_else(|| "null".to_string(), |n| n.to_string())
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"experiment\": \"{}\",\n", opts.experiment));
+        out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        out.push_str(&format!("  \"threads\": {},\n", opts.threads));
+        out.push_str("  \"runs\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"threads\": {}, \
+                 \"users\": {}, \"trials\": {}}}{}\n",
+                e.name,
+                e.wall_ms,
+                opts.threads,
+                opt(e.users),
+                opt(e.trials),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn write(&self, opts: &Options) {
+        let json = self.to_json(opts);
+        match std::fs::write(&opts.bench_json, &json) {
+            Ok(()) => println!("[bench] wrote {}", opts.bench_json.display()),
+            Err(e) => {
+                eprintln!("[bench] failed to write {}: {e}", opts.bench_json.display())
+            }
+        }
+    }
 }
 
 fn emit(table: &Table, opts: &Options, file: &str) {
@@ -109,16 +198,17 @@ fn emit(table: &Table, opts: &Options, file: &str) {
     }
 }
 
-fn run_fig2(opts: &Options) {
+fn run_fig2(opts: &Options) -> (Option<usize>, Option<usize>) {
     let out = fig2::run(&fig2::Config { seed: opts.seed, ..fig2::Config::default() });
     emit(&out.table(), opts, "fig2.csv");
     println!(
         "paper: from a 7-day trace, top locations, semantics (home/office) and \
          mobility patterns 'are not difficult to infer'\n"
     );
+    (None, None)
 }
 
-fn run_fig3(opts: &Options) {
+fn run_fig3(opts: &Options) -> (Option<usize>, Option<usize>) {
     let users = opts.users.unwrap_or(if opts.full { 37_262 } else { 2_000 });
     let out = fig3::run(&fig3::Config { users, seed: opts.seed, theta_m: 50.0 });
     emit(&out.table(), opts, "fig3.csv");
@@ -126,9 +216,10 @@ fn run_fig3(opts: &Options) {
         "paper: entropy declines with check-ins; 88.8% of users < 2. measured: {:.1}% < 2\n",
         100.0 * out.fraction_below_two
     );
+    (Some(users), None)
 }
 
-fn run_fig4(opts: &Options) {
+fn run_fig4(opts: &Options) -> (Option<usize>, Option<usize>) {
     let mut config = fig4::Config { seed: opts.seed, ..fig4::Config::default() };
     if let Some(theta) = opts.theta {
         config.theta_m = theta;
@@ -136,9 +227,10 @@ fn run_fig4(opts: &Options) {
     let out = fig4::run(&config);
     emit(&out.table(), opts, "fig4.csv");
     println!("paper: ~200 m error after one week, <50 m after a full year\n");
+    (None, None)
 }
 
-fn run_fig6(opts: &Options) {
+fn run_fig6(opts: &Options) -> (Option<usize>, Option<usize>) {
     let users = opts.users.unwrap_or(if opts.full { 37_262 } else { 500 });
     let out = fig6::run(&fig6::Config {
         users,
@@ -152,34 +244,49 @@ fn run_fig6(opts: &Options) {
         "paper: one-time geo-IND leaks 75-93% of top-1 within 200 m; \
          Edge-PrivLocAd <1% within 200 m, ~5-6.8% within 500 m\n"
     );
+    (Some(users), None)
 }
 
-fn run_fig7(opts: &Options) {
+fn run_fig7(opts: &Options) -> (Option<usize>, Option<usize>) {
     let trials = opts.trials.unwrap_or(if opts.full { 100_000 } else { 20_000 });
-    let out = fig7::run(&fig7::Config { trials, seed: opts.seed, ..fig7::Config::default() });
+    let out = fig7::run(&fig7::Config {
+        trials,
+        seed: opts.seed,
+        threads: opts.threads,
+        ..fig7::Config::default()
+    });
     emit(&out.table(), opts, "fig7.csv");
     println!(
         "paper at n=10: n-fold ~100% UR, post-processing ~58%, plain composition ~20%\n"
     );
+    (None, Some(trials))
 }
 
-fn run_fig8(opts: &Options) {
+fn run_fig8(opts: &Options) -> (Option<usize>, Option<usize>) {
     let trials = opts.trials.unwrap_or(if opts.full { 100_000 } else { 20_000 });
-    let out = fig8::run(&fig8::Config { trials, seed: opts.seed, ..fig8::Config::default() });
+    let out = fig8::run(&fig8::Config {
+        trials,
+        seed: opts.seed,
+        threads: opts.threads,
+        ..fig8::Config::default()
+    });
     emit(&out.table(), opts, "fig8.csv");
     println!("paper: min UR grows with n (0.6 -> 0.9 for eps=1.5; ~+60% rel. for eps=1)\n");
+    (None, Some(trials))
 }
 
-fn run_fig9(opts: &Options) {
+fn run_fig9(opts: &Options) -> (Option<usize>, Option<usize>) {
     let trials = opts.trials.unwrap_or(if opts.full { 100_000 } else { 20_000 });
     let out = fig9::run(&fig9::Config {
         trials,
         seed: opts.seed,
+        threads: opts.threads,
         include_uniform_ablation: !opts.no_ablation,
         ..fig9::Config::default()
     });
     emit(&out.table(), opts, "fig9.csv");
     println!("paper: efficacy does not significantly decrease with n (output selection)\n");
+    (None, Some(trials))
 }
 
 fn scalability_config(opts: &Options) -> tables::Config {
@@ -188,29 +295,81 @@ fn scalability_config(opts: &Options) -> tables::Config {
     } else {
         vec![500, 1_000, 2_000, 4_000]
     };
-    tables::Config { user_counts, seed: opts.seed }
+    tables::Config { user_counts, seed: opts.seed, threads: opts.threads }
 }
 
-fn run_verify(opts: &Options) {
-    let out = verify::run(&verify::Config::default());
+fn run_verify(opts: &Options) -> (Option<usize>, Option<usize>) {
+    let out = verify::run(&verify::Config {
+        threads: opts.threads,
+        ..verify::Config::default()
+    });
     emit(&out.table(), opts, "verify.csv");
     println!(
         "Section VI: sigma from Theorem 2 must achieve delta <= 0.01 at the \
          configured epsilon; the achieved delta is n-invariant because only \
          the sufficient statistic (the candidate mean) matters\n"
     );
+    (None, None)
 }
 
-fn run_table2(opts: &Options) {
-    let out = tables::run_table2(&scalability_config(opts));
+fn run_table2(opts: &Options) -> (Option<usize>, Option<usize>) {
+    let config = scalability_config(opts);
+    let users = config.user_counts.iter().copied().max();
+    let out = tables::run_table2(&config);
     emit(&out.table(), opts, "table2.csv");
     println!("paper (RPi 3): 340 s @2k users -> 4,014 s @32k; target is ~linear scaling\n");
+    (users, None)
 }
 
-fn run_table3(opts: &Options) {
-    let out = tables::run_table3(&scalability_config(opts));
+fn run_table3(opts: &Options) -> (Option<usize>, Option<usize>) {
+    let config = scalability_config(opts);
+    let users = config.user_counts.iter().copied().max();
+    let out = tables::run_table3(&config);
     emit(&out.table(), opts, "table3.csv");
     println!("paper (RPi 3): 90 ms @2k users -> 1,377 ms @32k; target is ~linear scaling\n");
+    (users, None)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut log = BenchLog::default();
+    match opts.experiment.as_str() {
+        "fig2" => log.timed("fig2", || run_fig2(&opts)),
+        "fig3" => log.timed("fig3", || run_fig3(&opts)),
+        "fig4" => log.timed("fig4", || run_fig4(&opts)),
+        "fig6" => log.timed("fig6", || run_fig6(&opts)),
+        "fig7" => log.timed("fig7", || run_fig7(&opts)),
+        "fig8" => log.timed("fig8", || run_fig8(&opts)),
+        "fig9" => log.timed("fig9", || run_fig9(&opts)),
+        "table2" => log.timed("table2", || run_table2(&opts)),
+        "table3" => log.timed("table3", || run_table3(&opts)),
+        "verify" => log.timed("verify", || run_verify(&opts)),
+        "all" => {
+            log.timed("verify", || run_verify(&opts));
+            log.timed("fig2", || run_fig2(&opts));
+            log.timed("fig3", || run_fig3(&opts));
+            log.timed("fig4", || run_fig4(&opts));
+            log.timed("fig6", || run_fig6(&opts));
+            log.timed("fig7", || run_fig7(&opts));
+            log.timed("fig8", || run_fig8(&opts));
+            log.timed("fig9", || run_fig9(&opts));
+            log.timed("table2", || run_table2(&opts));
+            log.timed("table3", || run_table3(&opts));
+        }
+        other => {
+            eprintln!("unknown experiment {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    log.write(&opts);
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -226,26 +385,30 @@ mod tests {
         let o = parse(&args("fig7")).unwrap();
         assert_eq!(o.experiment, "fig7");
         assert_eq!(o.seed, 0);
+        assert_eq!(o.threads, 0);
         assert_eq!(o.users, None);
         assert_eq!(o.trials, None);
         assert_eq!(o.theta, None);
         assert!(!o.full && !o.no_trimming && !o.no_ablation);
         assert!(o.csv_dir.is_none());
+        assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
     }
 
     #[test]
     fn parses_all_options() {
         let o = parse(&args(
-            "fig6 --users 2000 --trials 50000 --seed 9 --theta 75.5 --full \
-             --no-trimming --no-ablation --csv out",
+            "fig6 --users 2000 --trials 50000 --seed 9 --threads 4 --theta 75.5 --full \
+             --no-trimming --no-ablation --csv out --bench-json bench.json",
         ))
         .unwrap();
         assert_eq!(o.users, Some(2_000));
         assert_eq!(o.trials, Some(50_000));
         assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, 4);
         assert_eq!(o.theta, Some(75.5));
         assert!(o.full && o.no_trimming && o.no_ablation);
         assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(o.bench_json, PathBuf::from("bench.json"));
     }
 
     #[test]
@@ -259,46 +422,26 @@ mod tests {
         assert!(parse(&args("fig3 --seed -1")).unwrap_err().contains("bad --seed"));
         assert!(parse(&args("fig3 --trials")).unwrap_err().contains("needs a value"));
         assert!(parse(&args("fig3 --theta x")).unwrap_err().contains("bad --theta"));
+        assert!(parse(&args("fig3 --threads x")).unwrap_err().contains("bad --threads"));
         assert!(parse(&args("fig3 --wat")).unwrap_err().contains("unknown option"));
     }
-}
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match opts.experiment.as_str() {
-        "fig2" => run_fig2(&opts),
-        "fig3" => run_fig3(&opts),
-        "fig4" => run_fig4(&opts),
-        "fig6" => run_fig6(&opts),
-        "fig7" => run_fig7(&opts),
-        "fig8" => run_fig8(&opts),
-        "fig9" => run_fig9(&opts),
-        "table2" => run_table2(&opts),
-        "table3" => run_table3(&opts),
-        "verify" => run_verify(&opts),
-        "all" => {
-            run_verify(&opts);
-            run_fig2(&opts);
-            run_fig3(&opts);
-            run_fig4(&opts);
-            run_fig6(&opts);
-            run_fig7(&opts);
-            run_fig8(&opts);
-            run_fig9(&opts);
-            run_table2(&opts);
-            run_table3(&opts);
-        }
-        other => {
-            eprintln!("unknown experiment {other}\n{}", usage());
-            return ExitCode::FAILURE;
-        }
+    #[test]
+    fn bench_log_renders_json() {
+        let mut log = BenchLog::default();
+        log.timed("fig7", || (None, Some(100)));
+        log.timed("table2", || (Some(500), None));
+        let opts = parse(&args("all --seed 3 --threads 2")).unwrap();
+        let json = log.to_json(&opts);
+        assert!(json.contains("\"experiment\": \"all\""));
+        assert!(json.contains("\"seed\": 3"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"name\": \"fig7\""));
+        assert!(json.contains("\"trials\": 100"));
+        assert!(json.contains("\"users\": 500"));
+        assert!(json.contains("\"trials\": null"));
+        // Exactly one trailing comma between the two runs.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.trim_end().ends_with('}'));
     }
-    ExitCode::SUCCESS
 }

@@ -10,6 +10,7 @@ use privlocad_mechanisms::{
     GeoIndParams, Lppm, NFoldGaussian, NaivePostProcessing, PlainComposition,
 };
 use privlocad_metrics::histogram::Histogram;
+use privlocad_metrics::montecarlo::Fanout;
 use privlocad_metrics::stats::Summary;
 use privlocad_metrics::utilization;
 use serde::{Deserialize, Serialize};
@@ -33,6 +34,9 @@ pub struct Config {
     pub targeting_radius_m: f64,
     /// The fold counts to sweep (paper: 1..=10).
     pub ns: Vec<usize>,
+    /// Worker threads for the Monte-Carlo fan-out (0 = auto). Results are
+    /// identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -45,6 +49,7 @@ impl Default for Config {
             delta: 0.01,
             targeting_radius_m: 5_000.0,
             ns: (1..=10).collect(),
+            threads: 0,
         }
     }
 }
@@ -119,11 +124,16 @@ pub fn run(config: &Config) -> Outcome {
             let params = GeoIndParams::new(config.r_m, config.epsilon, config.delta, n)
                 .expect("valid sweep parameters");
             let mech = kind.build(params);
-            let urs = utilization::measure(
+            let fan = Fanout::with_threads(
+                config.seed ^ (n as u64) << 8 ^ kind as u64,
+                config.threads,
+            );
+            let urs = utilization::measure_fanout(
                 mech.as_ref(),
                 config.targeting_radius_m,
                 config.trials,
-                config.seed ^ (n as u64) << 8 ^ kind as u64,
+                fan,
+                utilization::DEFAULT_SAMPLES_PER_TRIAL,
             );
             let s = Summary::of(&urs);
             let hist = Histogram::of(&urs, 0.0, 1.0, 16).expect("valid fixed range");

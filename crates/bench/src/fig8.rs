@@ -7,6 +7,7 @@
 //! ε = 1.5, and by ~60 % relative for ε = 1.
 
 use privlocad_mechanisms::{GeoIndParams, NFoldGaussian};
+use privlocad_metrics::montecarlo::Fanout;
 use privlocad_metrics::stats::min_rate_at_confidence;
 use privlocad_metrics::utilization;
 use serde::{Deserialize, Serialize};
@@ -32,6 +33,9 @@ pub struct Config {
     pub ns: Vec<usize>,
     /// Confidence level α (paper: 0.9).
     pub alpha: f64,
+    /// Worker threads for the Monte-Carlo fan-out (0 = auto). Results are
+    /// identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -45,6 +49,7 @@ impl Default for Config {
             targeting_radius_m: 5_000.0,
             ns: (1..=10).collect(),
             alpha: 0.9,
+            threads: 0,
         }
     }
 }
@@ -80,11 +85,16 @@ pub fn run(config: &Config) -> Outcome {
                 let params = GeoIndParams::new(r_m, epsilon, config.delta, n)
                     .expect("valid sweep parameters");
                 let mech = NFoldGaussian::new(params);
-                let urs = utilization::measure(
+                let fan = Fanout::with_threads(
+                    config.seed ^ (n as u64) ^ ((r_m as u64) << 16) ^ ((epsilon * 10.0) as u64) << 32,
+                    config.threads,
+                );
+                let urs = utilization::measure_fanout(
                     &mech,
                     config.targeting_radius_m,
                     config.trials,
-                    config.seed ^ (n as u64) ^ ((r_m as u64) << 16) ^ ((epsilon * 10.0) as u64) << 32,
+                    fan,
+                    utilization::DEFAULT_SAMPLES_PER_TRIAL,
                 );
                 cells.push(Cell {
                     epsilon,

@@ -10,6 +10,7 @@ use privlocad_mechanisms::{
     GeoIndParams, NFoldGaussian, PosteriorSelector, SelectionStrategy, UniformSelector,
 };
 use privlocad_metrics::efficacy;
+use privlocad_metrics::montecarlo::Fanout;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{f3, Table};
@@ -33,6 +34,9 @@ pub struct Config {
     pub ns: Vec<usize>,
     /// Also evaluate the uniform-selection ablation.
     pub include_uniform_ablation: bool,
+    /// Worker threads for the Monte-Carlo fan-out (0 = auto). Results are
+    /// identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -46,6 +50,7 @@ impl Default for Config {
             targeting_radius_m: 5_000.0,
             ns: (1..=10).collect(),
             include_uniform_ablation: true,
+            threads: 0,
         }
     }
 }
@@ -79,22 +84,23 @@ pub fn run(config: &Config) -> Outcome {
                 .expect("valid sweep parameters");
             let mech = NFoldGaussian::new(params);
             let seed = config.seed ^ ((r_m as u64) << 20) ^ n as u64;
+            let fan = Fanout::with_threads(seed, config.threads);
             let posterior_sel = PosteriorSelector::new(mech.sigma());
-            let posterior = mean(&efficacy::measure(
+            let posterior = mean(&efficacy::measure_fanout(
                 &mech,
                 &posterior_sel,
                 config.targeting_radius_m,
                 config.trials,
-                seed,
+                fan,
             ));
             let uniform = config.include_uniform_ablation.then(|| {
                 let sel = UniformSelector::new();
-                mean(&efficacy::measure(
+                mean(&efficacy::measure_fanout(
                     &mech,
                     &sel as &dyn SelectionStrategy,
                     config.targeting_radius_m,
                     config.trials,
-                    seed.wrapping_add(1),
+                    fan.reseeded(seed.wrapping_add(1)),
                 ))
             });
             cells.push(Cell { r_m, n, posterior, uniform });

@@ -26,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod microbench;
 pub mod report;
 pub mod tables;
 pub mod verify;

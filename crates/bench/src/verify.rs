@@ -9,6 +9,7 @@
 
 use privlocad_mechanisms::verifier::verify_nfold_gaussian;
 use privlocad_mechanisms::GeoIndParams;
+use privlocad_metrics::montecarlo::Fanout;
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
@@ -24,6 +25,9 @@ pub struct Config {
     pub delta: f64,
     /// Fold counts.
     pub ns: Vec<usize>,
+    /// Worker threads for the grid sweep (0 = auto). Results are identical
+    /// for any value.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -33,6 +37,7 @@ impl Default for Config {
             rs_m: vec![500.0, 600.0, 700.0, 800.0],
             delta: 0.01,
             ns: vec![1, 2, 5, 10],
+            threads: 0,
         }
     }
 }
@@ -64,25 +69,32 @@ pub struct Outcome {
 }
 
 /// Runs the sweep.
+///
+/// The exact Balle–Wang curve evaluation is pure per-cell work, so the
+/// grid is spread over the fan-out's worker threads; row order matches
+/// the nested (ε, r, n) loop regardless of the thread count.
 pub fn run(config: &Config) -> Outcome {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &epsilon in &config.epsilons {
         for &r_m in &config.rs_m {
             for &n in &config.ns {
-                let params = GeoIndParams::new(r_m, epsilon, config.delta, n)
-                    .expect("valid sweep parameters");
-                let v = verify_nfold_gaussian(params);
-                rows.push(Row {
-                    epsilon,
-                    r_m,
-                    n,
-                    sigma: params.sigma(),
-                    achieved_delta: v.achieved_delta,
-                    holds: v.holds(),
-                });
+                grid.push((epsilon, r_m, n));
             }
         }
     }
+    let rows = Fanout::with_threads(0, config.threads).map(&grid, |_, &(epsilon, r_m, n)| {
+        let params = GeoIndParams::new(r_m, epsilon, config.delta, n)
+            .expect("valid sweep parameters");
+        let v = verify_nfold_gaussian(params);
+        Row {
+            epsilon,
+            r_m,
+            n,
+            sigma: params.sigma(),
+            achieved_delta: v.achieved_delta,
+            holds: v.holds(),
+        }
+    });
     Outcome { delta: config.delta, rows }
 }
 

@@ -115,12 +115,23 @@ impl SharedEdgeDevice {
     /// Closes the user's profile window; returns the number of freshly
     /// obfuscated top locations.
     pub fn finalize_window(&self, user: UserId) -> usize {
+        let mut rng = self.op_rng();
+        self.finalize_window_with(user, &mut rng)
+    }
+
+    /// [`SharedEdgeDevice::finalize_window`] with a caller-provided RNG.
+    ///
+    /// The device's own `op_rng` draws from an atomic operation counter,
+    /// so outputs depend on the scheduling of concurrent calls.
+    /// Deterministic worker pools instead derive one RNG per user (e.g.
+    /// from `(seed, user index)`) and pass it here — results are then
+    /// independent of thread count and interleaving.
+    pub fn finalize_window_with(&self, user: UserId, rng: &mut dyn rand::RngCore) -> usize {
         let slot = self.slot(user);
         let mut state = slot.lock();
         let tops: Vec<Point> =
             state.manager.finalize_window().iter().map(|e| e.location).collect();
-        let mut rng = self.op_rng();
-        state.obfuscation.obfuscate_top_set(&tops, &mut rng)
+        state.obfuscation.obfuscate_top_set(&tops, rng)
     }
 
     /// The permanent candidates covering `location`, if any.
@@ -137,27 +148,39 @@ impl SharedEdgeDevice {
     /// `current_true` (posterior-selected permanent candidate at top
     /// locations, one-time Laplace elsewhere).
     pub fn reported_location(&self, user: UserId, current_true: Point) -> Point {
+        let mut rng = self.op_rng();
+        self.reported_location_with(user, current_true, &mut rng)
+    }
+
+    /// [`SharedEdgeDevice::reported_location`] with a caller-provided RNG
+    /// — the deterministic counterpart for worker pools (see
+    /// [`SharedEdgeDevice::finalize_window_with`]).
+    pub fn reported_location_with(
+        &self,
+        user: UserId,
+        current_true: Point,
+        rng: &mut dyn rand::RngCore,
+    ) -> Point {
         let slot = self.slot(user);
         let mut state = slot.lock();
-        let mut rng = self.op_rng();
         match state
             .manager
             .matching_top(current_true, self.config.top_match_radius_m())
         {
             Some(top) => {
                 let sigma = state.obfuscation.mechanism().sigma();
-                let candidates = state.obfuscation.candidates_for(top, &mut rng).to_vec();
+                let candidates = state.obfuscation.candidates_for(top, rng).to_vec();
                 let idx = match self.config.selection() {
                     SelectionKind::Posterior => {
-                        PosteriorSelector::new(sigma).select(&candidates, &mut rng)
+                        PosteriorSelector::new(sigma).select(&candidates, rng)
                     }
                     SelectionKind::Uniform => {
-                        UniformSelector::new().select(&candidates, &mut rng)
+                        UniformSelector::new().select(&candidates, rng)
                     }
                 };
                 candidates[idx]
             }
-            None => self.nomadic.sample(current_true, &mut rng),
+            None => self.nomadic.sample(current_true, rng),
         }
     }
 }
@@ -264,6 +287,31 @@ mod tests {
         assert_eq!(edge.user_count(), 1);
         // All eight check-ins landed in the same buffer.
         assert_eq!(edge.finalize_window(UserId::new(7)), 1);
+    }
+
+    #[test]
+    fn externally_seeded_drive_is_schedule_independent() {
+        use privlocad_geo::rng::{derive_seed, seeded};
+        // Drive two devices with per-user derived RNGs, one forwards and
+        // one backwards: candidate tables and reports must match exactly.
+        let build = |order: &[u32]| {
+            let edge = device();
+            let mut reports = std::collections::HashMap::new();
+            for &u in order {
+                let user = UserId::new(u);
+                let home = Point::new(u as f64 * 4_000.0, 0.0);
+                for _ in 0..40 {
+                    edge.report_checkin(user, home);
+                }
+                let mut rng = seeded(derive_seed(1_000, u as u64));
+                edge.finalize_window_with(user, &mut rng);
+                reports.insert(u, edge.reported_location_with(user, home, &mut rng));
+            }
+            reports
+        };
+        let forward = build(&[0, 1, 2, 3]);
+        let backward = build(&[3, 2, 1, 0]);
+        assert_eq!(forward, backward);
     }
 
     #[test]

@@ -1,9 +1,14 @@
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
 
 use crate::protocol::{ClientRequest, EdgeResponse, FrameError};
 use crate::{EdgeDevice, SystemConfig};
+
+/// An encoded request frame paired with the channel its response frame is
+/// sent back on.
+type Envelope = (Vec<u8>, SyncSender<Vec<u8>>);
 
 /// A handle for talking to a running [`EdgeServer`] from any thread.
 ///
@@ -12,7 +17,7 @@ use crate::{EdgeDevice, SystemConfig};
 /// as they would over a radio link.
 #[derive(Debug, Clone)]
 pub struct EdgeHandle {
-    tx: Sender<(Vec<u8>, Sender<Vec<u8>>)>,
+    tx: SyncSender<Envelope>,
 }
 
 /// Errors surfaced by [`EdgeHandle`] calls.
@@ -54,7 +59,7 @@ impl From<FrameError> for TransportError {
 impl EdgeHandle {
     /// Sends one request frame and waits for the response frame.
     pub fn call(&self, request: ClientRequest) -> Result<EdgeResponse, TransportError> {
-        let (reply_tx, reply_rx) = bounded(1);
+        let (reply_tx, reply_rx) = sync_channel(1);
         self.tx
             .send((request.encode().to_vec(), reply_tx))
             .map_err(|_| TransportError::Disconnected)?;
@@ -140,7 +145,7 @@ pub struct EdgeServer {
 impl EdgeServer {
     /// Spawns the serving loop and returns the server plus a client handle.
     pub fn spawn(config: SystemConfig, seed: u64) -> (EdgeServer, EdgeHandle) {
-        let (tx, rx): (Sender<(Vec<u8>, Sender<Vec<u8>>)>, Receiver<_>) = bounded(1_024);
+        let (tx, rx): (SyncSender<Envelope>, Receiver<_>) = sync_channel(1_024);
         let thread = std::thread::spawn(move || serve(EdgeDevice::new(config, seed), rx));
         (EdgeServer { thread }, EdgeHandle { tx })
     }
@@ -153,7 +158,7 @@ impl EdgeServer {
     }
 }
 
-fn serve(mut edge: EdgeDevice, rx: Receiver<(Vec<u8>, Sender<Vec<u8>>)>) -> EdgeDevice {
+fn serve(mut edge: EdgeDevice, rx: Receiver<Envelope>) -> EdgeDevice {
     while let Ok((frame, reply)) = rx.recv() {
         let response = match ClientRequest::decode(&frame) {
             Ok(ClientRequest::CheckIn { user, location, .. }) => {

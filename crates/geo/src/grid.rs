@@ -51,6 +51,35 @@ impl SpatialGrid {
         SpatialGrid { cell: cell_size, points: points.to_vec(), cells }
     }
 
+    /// Re-indexes the grid over a new point set, reusing the existing
+    /// cell-bucket allocations.
+    ///
+    /// Attack pipelines rebuild the grid once per inference pass over the
+    /// same check-in stream; reusing the buckets avoids re-allocating the
+    /// whole `HashMap` of `Vec`s each time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn rebuild(&mut self, points: &[Point], cell_size: f64) {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite"
+        );
+        self.cell = cell_size;
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        for (i, p) in points.iter().enumerate() {
+            self.cells.entry(Self::key(cell_size, *p)).or_default().push(i);
+        }
+        // Buckets left empty by the new point set would otherwise
+        // accumulate across rebuilds with shifting data.
+        self.cells.retain(|_, bucket| !bucket.is_empty());
+    }
+
     #[inline]
     fn key(cell: f64, p: Point) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
@@ -105,6 +134,41 @@ impl SpatialGrid {
             candidates,
             pos: 0,
         }
+    }
+
+    /// Collects indices of points within `radius` meters of `query`
+    /// (inclusive) into `out` in ascending index order, clearing `out`
+    /// first.
+    ///
+    /// The buffer-reusing variant of [`SpatialGrid::neighbors_within`]:
+    /// query loops pass the same `Vec` every time, so the per-query
+    /// candidate allocation disappears. Distance filtering happens before
+    /// the sort, so only actual matches are sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the grid cell size.
+    pub fn neighbors_within_into(&self, query: Point, radius: f64, out: &mut Vec<usize>) {
+        assert!(
+            radius <= self.cell,
+            "query radius {radius} exceeds grid cell size {}",
+            self.cell
+        );
+        out.clear();
+        let radius_sq = radius * radius;
+        let (cx, cy) = Self::key(self.cell, query);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &idx in bucket {
+                        if self.points[idx].distance_sq(query) <= radius_sq {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
     }
 }
 
@@ -188,6 +252,41 @@ mod tests {
         let grid = SpatialGrid::build(&pts, 50.0);
         let n: Vec<usize> = grid.neighbors_within(Point::new(0.0, 0.0), 50.0).collect();
         assert_eq!(n, vec![0, 1]);
+    }
+
+    #[test]
+    fn buffered_query_matches_iterator() {
+        let mut rng = seeded(7);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(-400.0..400.0), rng.gen_range(-400.0..400.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 60.0);
+        let mut buf = vec![123usize]; // stale content must be cleared
+        for qi in (0..pts.len()).step_by(13) {
+            let iter: Vec<usize> = grid.neighbors_within(pts[qi], 60.0).collect();
+            grid.neighbors_within_into(pts[qi], 60.0, &mut buf);
+            assert_eq!(buf, iter, "mismatch at query {qi}");
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut rng = seeded(21);
+        let first: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(-300.0..300.0), rng.gen_range(-300.0..300.0)))
+            .collect();
+        let second: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(500.0..900.0), rng.gen_range(500.0..900.0)))
+            .collect();
+        let mut grid = SpatialGrid::build(&first, 50.0);
+        grid.rebuild(&second, 40.0);
+        let fresh = SpatialGrid::build(&second, 40.0);
+        assert_eq!(grid.len(), fresh.len());
+        for qi in (0..second.len()).step_by(11) {
+            let a: Vec<usize> = grid.neighbors_within(second[qi], 40.0).collect();
+            let b: Vec<usize> = fresh.neighbors_within(second[qi], 40.0).collect();
+            assert_eq!(a, b, "mismatch at query {qi}");
+        }
     }
 
     #[test]

@@ -75,11 +75,14 @@ impl NaivePostProcessing {
 }
 
 impl Lppm for NaivePostProcessing {
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
         let anchor = self.base.sample_one(real, rng);
         let disc = Circle::new(anchor, self.spread_radius)
             .expect("validated spread radius and finite anchor");
-        (0..self.params.n()).map(|_| disc.sample_uniform(rng)).collect()
+        out.reserve(self.params.n());
+        for _ in 0..self.params.n() {
+            out.push(disc.sample_uniform(rng));
+        }
     }
 
     fn output_count(&self) -> usize {
@@ -141,10 +144,11 @@ impl PlainComposition {
 }
 
 impl Lppm for PlainComposition {
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
-        (0..self.params.n())
-            .map(|_| self.per_output.sample_one(real, rng))
-            .collect()
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+        out.reserve(self.params.n());
+        for _ in 0..self.params.n() {
+            out.push(self.per_output.sample_one(real, rng));
+        }
     }
 
     fn output_count(&self) -> usize {

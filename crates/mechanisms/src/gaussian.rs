@@ -104,8 +104,11 @@ impl NFoldGaussian {
 }
 
 impl Lppm for NFoldGaussian {
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
-        (0..self.params.n()).map(|_| self.sample_one(real, rng)).collect()
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+        out.reserve(self.params.n());
+        for _ in 0..self.params.n() {
+            out.push(self.sample_one(real, rng));
+        }
     }
 
     fn output_count(&self) -> usize {

@@ -88,7 +88,7 @@ pub fn w0(x: f64) -> f64 {
 /// assert!((w * w.exp() - x).abs() < 1e-12);
 /// ```
 pub fn w_m1(x: f64) -> f64 {
-    if x.is_nan() || x < -INV_E || x >= 0.0 {
+    if x.is_nan() || !(-INV_E..0.0).contains(&x) {
         return f64::NAN;
     }
     if (x + INV_E).abs() < 1e-300 {

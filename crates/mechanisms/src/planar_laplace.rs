@@ -103,8 +103,8 @@ impl PlanarLaplace {
 }
 
 impl Lppm for PlanarLaplace {
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
-        vec![self.sample(real, rng)]
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+        out.push(self.sample(real, rng));
     }
 
     fn output_count(&self) -> usize {
@@ -184,8 +184,8 @@ impl DiscretePlanarLaplace {
 }
 
 impl Lppm for DiscretePlanarLaplace {
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
-        vec![self.sample(real, rng)]
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+        out.push(self.sample(real, rng));
     }
 
     fn output_count(&self) -> usize {

@@ -204,12 +204,12 @@ impl<M> Remapped<M> {
 }
 
 impl<M: crate::Lppm> crate::Lppm for Remapped<M> {
-    fn obfuscate(&self, real: Point, rng: &mut dyn rand::RngCore) -> Vec<Point> {
-        self.inner
-            .obfuscate(real, rng)
-            .into_iter()
-            .map(|q| remap_mean(q, &self.prior, self.noise))
-            .collect()
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn rand::RngCore, out: &mut Vec<Point>) {
+        let start = out.len();
+        self.inner.obfuscate_into(real, rng, out);
+        for q in &mut out[start..] {
+            *q = remap_mean(*q, &self.prior, self.noise);
+        }
     }
 
     fn output_count(&self) -> usize {

@@ -16,6 +16,26 @@ pub trait SelectionStrategy: Send + Sync {
     /// Implementations may panic if `candidates` is empty.
     fn select(&self, candidates: &[Point], rng: &mut dyn RngCore) -> usize;
 
+    /// Draws `count` independent selections from the same candidate set,
+    /// appending the chosen indices to `out`.
+    ///
+    /// Equivalent to `count` calls of [`SelectionStrategy::select`] with
+    /// the same RNG; implementations may amortize per-set work (the
+    /// posterior selector computes its weights once per batch instead of
+    /// once per draw).
+    fn select_batch(
+        &self,
+        candidates: &[Point],
+        count: usize,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<usize>,
+    ) {
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.select(candidates, rng));
+        }
+    }
+
     /// A short human-readable strategy name.
     fn name(&self) -> &str;
 }
@@ -74,32 +94,89 @@ impl PosteriorSelector {
     ///
     /// Panics if `candidates` is empty.
     pub fn probabilities(&self, candidates: &[Point]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(candidates.len());
+        self.probabilities_into(candidates, &mut out);
+        out
+    }
+
+    /// Appends the normalized selection probabilities over `candidates` to
+    /// `out` — the buffer-reusing variant of
+    /// [`PosteriorSelector::probabilities`] for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn probabilities_into(&self, candidates: &[Point], out: &mut Vec<f64>) {
+        let (mean, max, total) = self.weight_stats(candidates);
+        let two_sigma_sq = 2.0 * self.sigma * self.sigma;
+        out.reserve(candidates.len());
+        out.extend(
+            candidates
+                .iter()
+                .map(|q| (-q.distance_sq(mean) / two_sigma_sq - max).exp() / total),
+        );
+    }
+
+    /// Streams over `candidates` and returns `(mean, max exponent, total
+    /// weight)` — everything needed to evaluate any candidate's
+    /// unnormalized posterior weight without allocating.
+    ///
+    /// exp of large negative numbers can underflow to zero for distant
+    /// candidates; the max exponent is subtracted before exponentiation
+    /// for numerical stability.
+    fn weight_stats(&self, candidates: &[Point]) -> (Point, f64, f64) {
         let mean = centroid(candidates).expect("candidate set must be non-empty");
         let two_sigma_sq = 2.0 * self.sigma * self.sigma;
-        // exp of large negative numbers can underflow to zero for distant
-        // candidates; subtract the max exponent for numerical stability.
-        let exponents: Vec<f64> = candidates
-            .iter()
-            .map(|q| -q.distance_sq(mean) / two_sigma_sq)
-            .collect();
-        let max = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = exponents.iter().map(|e| (e - max).exp()).collect();
-        let total: f64 = weights.iter().sum();
-        weights.into_iter().map(|w| w / total).collect()
+        let mut max = f64::NEG_INFINITY;
+        for q in candidates {
+            max = max.max(-q.distance_sq(mean) / two_sigma_sq);
+        }
+        let mut total = 0.0;
+        for q in candidates {
+            total += (-q.distance_sq(mean) / two_sigma_sq - max).exp();
+        }
+        (mean, max, total)
+    }
+
+    /// One inverse-CDF draw over the unnormalized weights.
+    fn draw(
+        &self,
+        candidates: &[Point],
+        mean: Point,
+        max: f64,
+        total: f64,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let two_sigma_sq = 2.0 * self.sigma * self.sigma;
+        let mut u: f64 = rng.gen::<f64>() * total;
+        for (i, q) in candidates.iter().enumerate() {
+            u -= (-q.distance_sq(mean) / two_sigma_sq - max).exp();
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        candidates.len() - 1
     }
 }
 
 impl SelectionStrategy for PosteriorSelector {
     fn select(&self, candidates: &[Point], rng: &mut dyn RngCore) -> usize {
-        let probs = self.probabilities(candidates);
-        let mut u: f64 = rng.gen();
-        for (i, p) in probs.iter().enumerate() {
-            u -= p;
-            if u <= 0.0 {
-                return i;
-            }
+        let (mean, max, total) = self.weight_stats(candidates);
+        self.draw(candidates, mean, max, total, rng)
+    }
+
+    fn select_batch(
+        &self,
+        candidates: &[Point],
+        count: usize,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<usize>,
+    ) {
+        let (mean, max, total) = self.weight_stats(candidates);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.draw(candidates, mean, max, total, rng));
         }
-        probs.len() - 1
     }
 
     fn name(&self) -> &str {
@@ -235,6 +312,39 @@ mod tests {
             let freq = c as f64 / trials as f64;
             assert!((freq - 1.0 / 3.0).abs() < 0.02, "{counts:?}");
         }
+    }
+
+    #[test]
+    fn select_batch_matches_repeated_select() {
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 0.0),
+            Point::new(0.0, 900.0),
+        ];
+        let posterior = PosteriorSelector::new(500.0);
+        let uniform = UniformSelector::new();
+        for strategy in [&posterior as &dyn SelectionStrategy, &uniform] {
+            let mut serial = Vec::new();
+            let mut rng = seeded(77);
+            for _ in 0..200 {
+                serial.push(strategy.select(&cands, &mut rng));
+            }
+            let mut batched = Vec::new();
+            let mut rng = seeded(77);
+            strategy.select_batch(&cands, 200, &mut rng, &mut batched);
+            assert_eq!(serial, batched, "strategy {}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn probabilities_into_appends() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let mut out = vec![0.25];
+        sel.probabilities_into(&cands, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], 0.25);
+        assert!((out[1] + out[2] - 1.0).abs() < 1e-12);
     }
 
     #[test]

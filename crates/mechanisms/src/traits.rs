@@ -29,10 +29,34 @@ use rand::RngCore;
 /// # Ok::<(), privlocad_mechanisms::MechanismError>(())
 /// ```
 pub trait Lppm: Send + Sync {
+    /// Releases the obfuscated location set for `real`, **appending**
+    /// exactly [`Lppm::output_count`] points to `out`.
+    ///
+    /// This is the allocation-free hot path: Monte-Carlo loops call it with
+    /// a reused buffer (clearing between trials), so a million trials cost
+    /// zero per-trial allocations instead of one `Vec` each.
+    fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>);
+
     /// Releases the obfuscated location set for `real`.
     ///
     /// The returned vector has exactly [`Lppm::output_count`] elements.
-    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point>;
+    /// Convenience wrapper over [`Lppm::obfuscate_into`]; prefer the latter
+    /// in loops.
+    fn obfuscate(&self, real: Point, rng: &mut dyn RngCore) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.output_count());
+        self.obfuscate_into(real, rng, &mut out);
+        out
+    }
+
+    /// Obfuscates every location of `reals`, appending
+    /// [`Lppm::output_count`] points per real location to `out` in input
+    /// order (a flat `reals.len() × output_count()` layout).
+    fn obfuscate_batch(&self, reals: &[Point], rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+        out.reserve(reals.len() * self.output_count());
+        for &real in reals {
+            self.obfuscate_into(real, rng, out);
+        }
+    }
 
     /// The number of obfuscated locations released per call (`n`).
     fn output_count(&self) -> usize;
@@ -48,8 +72,8 @@ mod tests {
     struct Identity;
 
     impl Lppm for Identity {
-        fn obfuscate(&self, real: Point, _rng: &mut dyn RngCore) -> Vec<Point> {
-            vec![real]
+        fn obfuscate_into(&self, real: Point, _rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+            out.push(real);
         }
         fn output_count(&self) -> usize {
             1
@@ -67,5 +91,24 @@ mod tests {
         assert_eq!(out, vec![Point::new(1.0, 2.0)]);
         assert_eq!(m.output_count(), 1);
         assert_eq!(m.name(), "identity");
+    }
+
+    #[test]
+    fn obfuscate_into_appends_without_clearing() {
+        let m = Identity;
+        let mut rng = privlocad_geo::rng::seeded(0);
+        let mut out = vec![Point::ORIGIN];
+        m.obfuscate_into(Point::new(3.0, 4.0), &mut rng, &mut out);
+        assert_eq!(out, vec![Point::ORIGIN, Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn obfuscate_batch_flattens_in_input_order() {
+        let m = Identity;
+        let mut rng = privlocad_geo::rng::seeded(0);
+        let reals = [Point::new(1.0, 0.0), Point::new(2.0, 0.0), Point::new(3.0, 0.0)];
+        let mut out = Vec::new();
+        m.obfuscate_batch(&reals, &mut rng, &mut out);
+        assert_eq!(out, reals);
     }
 }

@@ -10,7 +10,7 @@
 use privlocad_geo::{Circle, Point};
 use privlocad_mechanisms::{Lppm, SelectionStrategy};
 
-use crate::montecarlo::run_trials;
+use crate::montecarlo::Fanout;
 use crate::utilization::analytic;
 
 /// Runs `trials` end-to-end releases (mechanism + output selection, true
@@ -27,11 +27,30 @@ pub fn measure(
     trials: usize,
     seed: u64,
 ) -> Vec<f64> {
+    measure_fanout(mech, selector, targeting_radius_m, trials, Fanout::new(seed))
+}
+
+/// [`measure`] driven by an explicit [`Fanout`] — the caller controls both
+/// the seed and the worker-thread count. Results are identical for any
+/// thread count (per-trial seeding; the candidate buffer is cleared
+/// between trials).
+///
+/// # Panics
+///
+/// Panics if `targeting_radius_m` is not positive and finite.
+pub fn measure_fanout(
+    mech: &dyn Lppm,
+    selector: &dyn SelectionStrategy,
+    targeting_radius_m: f64,
+    trials: usize,
+    fanout: Fanout,
+) -> Vec<f64> {
     let aoi = Circle::new(Point::ORIGIN, targeting_radius_m)
         .expect("targeting radius must be positive and finite");
-    run_trials(trials, seed, move |_, rng| {
-        let candidates = mech.obfuscate(Point::ORIGIN, rng);
-        let chosen = candidates[selector.select(&candidates, rng)];
+    fanout.run_trials_with_scratch(trials, Vec::new, move |_, rng, candidates: &mut Vec<Point>| {
+        candidates.clear();
+        mech.obfuscate_into(Point::ORIGIN, rng, candidates);
+        let chosen = candidates[selector.select(candidates, rng)];
         // AE = |AOI ∩ AOR| / |AOR|; radii are equal so the lens fraction
         // relative to the AOI equals the fraction relative to the AOR.
         analytic(&aoi, chosen)
@@ -58,15 +77,20 @@ pub fn measure_sampled(
     assert!(ads_per_trial > 0, "at least one ad per trial");
     let aoi = Circle::new(Point::ORIGIN, targeting_radius_m)
         .expect("targeting radius must be positive and finite");
-    run_trials(trials, seed, move |_, rng| {
-        let candidates = mech.obfuscate(Point::ORIGIN, rng);
-        let chosen = candidates[selector.select(&candidates, rng)];
-        let aor = aoi.recenter(chosen);
-        let hits = (0..ads_per_trial)
-            .filter(|_| aoi.contains(aor.sample_uniform(&mut *rng)))
-            .count();
-        hits as f64 / ads_per_trial as f64
-    })
+    Fanout::new(seed).run_trials_with_scratch(
+        trials,
+        Vec::new,
+        move |_, rng, candidates: &mut Vec<Point>| {
+            candidates.clear();
+            mech.obfuscate_into(Point::ORIGIN, rng, candidates);
+            let chosen = candidates[selector.select(candidates, rng)];
+            let aor = aoi.recenter(chosen);
+            let hits = (0..ads_per_trial)
+                .filter(|_| aoi.contains(aor.sample_uniform(&mut *rng)))
+                .count();
+            hits as f64 / ads_per_trial as f64
+        },
+    )
 }
 
 /// Convenience: the mean efficacy over trials.
@@ -81,8 +105,23 @@ pub fn mean_efficacy(
     trials: usize,
     seed: u64,
 ) -> f64 {
+    mean_efficacy_fanout(mech, selector, targeting_radius_m, trials, Fanout::new(seed))
+}
+
+/// [`mean_efficacy`] driven by an explicit [`Fanout`].
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `targeting_radius_m` is invalid.
+pub fn mean_efficacy_fanout(
+    mech: &dyn Lppm,
+    selector: &dyn SelectionStrategy,
+    targeting_radius_m: f64,
+    trials: usize,
+    fanout: Fanout,
+) -> f64 {
     assert!(trials > 0, "at least one trial is required");
-    let xs = measure(mech, selector, targeting_radius_m, trials, seed);
+    let xs = measure_fanout(mech, selector, targeting_radius_m, trials, fanout);
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 

@@ -9,7 +9,7 @@ use privlocad_geo::{Circle, Point};
 use privlocad_mechanisms::Lppm;
 use rand::Rng;
 
-use crate::montecarlo::run_trials;
+use crate::montecarlo::Fanout;
 
 /// Exact utilization rate for a single obfuscated output: the circle-lens
 /// area between the AOI and the shifted AOR over the AOI area.
@@ -125,15 +125,34 @@ pub fn measure_with(
     seed: u64,
     samples_per_trial: usize,
 ) -> Vec<f64> {
+    measure_fanout(mech, targeting_radius_m, trials, Fanout::new(seed), samples_per_trial)
+}
+
+/// [`measure_with`] driven by an explicit [`Fanout`] — the caller controls
+/// both the seed and the worker-thread count. Results are identical for
+/// any thread count (per-trial seeding; the candidate buffer is cleared
+/// between trials).
+///
+/// # Panics
+///
+/// Panics if `targeting_radius_m` is invalid or `samples_per_trial` is 0.
+pub fn measure_fanout(
+    mech: &dyn Lppm,
+    targeting_radius_m: f64,
+    trials: usize,
+    fanout: Fanout,
+    samples_per_trial: usize,
+) -> Vec<f64> {
     let aoi = Circle::new(Point::ORIGIN, targeting_radius_m)
         .expect("targeting radius must be positive and finite");
     assert!(samples_per_trial > 0, "at least one sample per trial");
-    run_trials(trials, seed, move |_, rng| {
-        let outputs = mech.obfuscate(Point::ORIGIN, rng);
+    fanout.run_trials_with_scratch(trials, Vec::new, move |_, rng, outputs: &mut Vec<Point>| {
+        outputs.clear();
+        mech.obfuscate_into(Point::ORIGIN, rng, outputs);
         if outputs.len() == 1 {
             analytic(&aoi, outputs[0])
         } else {
-            coverage_sampled(&aoi, &outputs, samples_per_trial, rng)
+            coverage_sampled(&aoi, outputs, samples_per_trial, rng)
         }
     })
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI-style gate: build, test, lint, and a fast end-to-end repro smoke.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> repro all (smoke, reduced sizes)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/repro all \
+    --users 60 --trials 500 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_smoke.json" >"$smoke_dir/repro_all.out"
+grep -q '"experiment": "all"' "$smoke_dir/BENCH_smoke.json"
+grep -q 'all configurations hold' "$smoke_dir/repro_all.out"
+
+echo "OK"
