@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -47,7 +47,7 @@ impl ServingPolicy {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServingState {
     spent: f64,
-    impressions: HashMap<u64, u32>,
+    impressions: BTreeMap<u64, u32>,
 }
 
 impl ServingState {
@@ -70,8 +70,8 @@ impl ServingState {
 /// Tracks policies and delivery state for a campaign inventory.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServingLedger {
-    policies: HashMap<u64, ServingPolicy>,
-    states: HashMap<u64, ServingState>,
+    policies: BTreeMap<u64, ServingPolicy>,
+    states: BTreeMap<u64, ServingState>,
 }
 
 impl ServingLedger {

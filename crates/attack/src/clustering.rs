@@ -122,7 +122,7 @@ pub fn connectivity_clusters_with(
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
     for i in 0..points.len() {
         groups.entry(dsu.find(i)).or_default().push(i);
     }

@@ -156,6 +156,7 @@ impl DeobfuscationAttack {
             } else {
                 seed_members
             };
+            // lint:allow(panic-hygiene): provably infallible — members always contains at least the largest-component seed
             let center = mean_of(pool, &members).expect("non-empty cluster");
             results.push(InferredLocation { rank, location: center, support: members.len() });
             // Remove the absorbed check-ins before extracting the next

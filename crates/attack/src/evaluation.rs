@@ -148,7 +148,7 @@ impl AttackStats {
         if xs.is_empty() {
             return None;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        xs.sort_by(f64::total_cmp);
         Some(xs[xs.len() / 2])
     }
 }

@@ -12,7 +12,7 @@
 //! Top-location extraction reuses the batch trimming logic, seeded by the
 //! incrementally maintained components.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use privlocad_geo::Point;
 use serde::{Deserialize, Serialize};
@@ -136,7 +136,7 @@ impl OnlineAttack {
     /// The size of the largest current connected component.
     pub fn largest_component(&mut self) -> usize {
         let n = self.points.len();
-        (0..n).map(|i| self.find(i)).fold(HashMap::new(), |mut acc: HashMap<usize, usize>, r| {
+        (0..n).map(|i| self.find(i)).fold(BTreeMap::new(), |mut acc: BTreeMap<usize, usize>, r| {
             *acc.entry(r).or_insert(0) += 1;
             acc
         })

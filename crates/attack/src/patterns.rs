@@ -60,7 +60,7 @@ impl MobilityPattern {
                 .enumerate()
                 .map(|(i, t)| (i, t.location.distance_sq(obs.location)))
                 .filter(|&(_, d)| d <= radius_sq)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(i, _)| i);
             match nearest {
                 Some(idx) => {

@@ -54,6 +54,7 @@ impl LocationProfile {
         let entries: Vec<ProfileEntry> = clusters
             .iter()
             .map(|c| ProfileEntry {
+                // lint:allow(panic-hygiene): provably infallible — connectivity_clusters never emits an empty cluster
                 location: c.centroid(checkins).expect("clusters are non-empty"),
                 frequency: c.len(),
             })

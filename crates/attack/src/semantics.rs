@@ -143,7 +143,7 @@ pub fn classify(
             .enumerate()
             .map(|(i, t)| (i, t.location.distance_sq(obs.location)))
             .filter(|&(_, d)| d <= radius_sq)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+            .min_by(|a, b| a.1.total_cmp(&b.1));
         let Some((idx, _)) = nearest else { continue };
         total[idx] += 1;
         let hour = hour_of(obs.timestamp_s);

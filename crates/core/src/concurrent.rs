@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -64,7 +64,7 @@ impl UserSlot {
 pub struct SharedEdgeDevice {
     config: SystemConfig,
     nomadic: PlanarLaplace,
-    users: RwLock<HashMap<UserId, Arc<Mutex<UserSlot>>>>,
+    users: RwLock<BTreeMap<UserId, Arc<Mutex<UserSlot>>>>,
     seed: u64,
     op_counter: AtomicU64,
 }
@@ -75,7 +75,7 @@ impl SharedEdgeDevice {
         SharedEdgeDevice {
             nomadic: PlanarLaplace::new(config.nomadic()),
             config,
-            users: RwLock::new(HashMap::new()),
+            users: RwLock::new(BTreeMap::new()),
             seed,
             op_counter: AtomicU64::new(0),
         }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use privlocad_adnet::{AdNetwork, AuctionOutcome, BidRequest, Campaign, DeviceId};
 use privlocad_geo::rng::seeded;
@@ -53,7 +53,7 @@ pub struct AdDelivery {
 pub struct EdgeDevice {
     config: SystemConfig,
     nomadic: PlanarLaplace,
-    users: HashMap<UserId, UserState>,
+    users: BTreeMap<UserId, UserState>,
     rng: StdRng,
 }
 
@@ -63,7 +63,7 @@ impl EdgeDevice {
         EdgeDevice {
             nomadic: PlanarLaplace::new(config.nomadic()),
             config,
-            users: HashMap::new(),
+            users: BTreeMap::new(),
             rng: seeded(seed),
         }
     }

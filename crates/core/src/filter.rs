@@ -32,6 +32,7 @@ use privlocad_geo::{Circle, Point};
 /// ```
 pub fn filter_ads(ads: &[Campaign], true_location: Point, targeting_radius_m: f64) -> Vec<&Campaign> {
     let aoi = Circle::new(true_location, targeting_radius_m)
+        // lint:allow(panic-hygiene): documented precondition — see the # Panics section above
         .expect("targeting radius must be positive and finite");
     ads.iter()
         .filter(|ad| match ad.business_location() {

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use privlocad_attack::LocationProfile;
 use privlocad_geo::rng::{derive_seed, seeded};
@@ -47,7 +47,7 @@ pub struct EdgeFleet {
     config: SystemConfig,
     sites: Vec<Point>,
     edges: Vec<EdgeDevice>,
-    authorities: HashMap<UserId, ObfuscationModule>,
+    authorities: BTreeMap<UserId, ObfuscationModule>,
     rng: StdRng,
 }
 
@@ -63,7 +63,7 @@ impl EdgeFleet {
         let edges = (0..sites.len())
             .map(|i| EdgeDevice::new(config, derive_seed(seed, i as u64)))
             .collect();
-        EdgeFleet { config, sites, edges, authorities: HashMap::new(), rng: seeded(seed) }
+        EdgeFleet { config, sites, edges, authorities: BTreeMap::new(), rng: seeded(seed) }
     }
 
     /// Number of edge devices.
@@ -81,12 +81,9 @@ impl EdgeFleet {
         self.sites
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.distance(location)
-                    .partial_cmp(&b.1.distance(location))
-                    .expect("site distances are finite")
-            })
+            .min_by(|a, b| a.1.distance(location).total_cmp(&b.1.distance(location)))
             .map(|(i, _)| i)
+            // lint:allow(panic-hygiene): provably infallible — the constructor asserts sites is non-empty
             .expect("fleet has at least one site")
     }
 

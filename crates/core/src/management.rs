@@ -134,11 +134,7 @@ impl LocationManager {
             .iter()
             .map(|e| e.location)
             .filter(|t| t.distance(location) <= match_radius_m)
-            .min_by(|a, b| {
-                a.distance(location)
-                    .partial_cmp(&b.distance(location))
-                    .expect("distances are finite")
-            })
+            .min_by(|a, b| a.distance(location).total_cmp(&b.distance(location)))
     }
 }
 

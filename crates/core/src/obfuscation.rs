@@ -45,11 +45,7 @@ impl ObfuscationTable {
         self.entries
             .iter()
             .filter(|(top, _)| top.distance(location) <= self.match_radius_m)
-            .min_by(|(a, _), (b, _)| {
-                a.distance(location)
-                    .partial_cmp(&b.distance(location))
-                    .expect("distances are finite")
-            })
+            .min_by(|(a, _), (b, _)| a.distance(location).total_cmp(&b.distance(location)))
             .map(|(_, candidates)| candidates.as_slice())
     }
 
@@ -223,6 +219,7 @@ impl ObfuscationModule {
             let candidates = self.mechanism.obfuscate(top, rng);
             self.table.insert(top, candidates);
         }
+        // lint:allow(panic-hygiene): provably infallible — the branch above inserts the key when absent
         self.table.get(top).expect("covered after insert")
     }
 

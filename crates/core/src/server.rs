@@ -154,6 +154,7 @@ impl EdgeServer {
     /// once every handle is dropped) and returns the edge device with its
     /// final state for inspection.
     pub fn join(self) -> EdgeDevice {
+        // lint:allow(panic-hygiene): join fails only if the serving thread panicked; re-raising that panic is the correct propagation
         self.thread.join().expect("edge serving loop must not panic")
     }
 }

@@ -108,11 +108,7 @@ impl LbaSimulation {
             .network
             .log()
             .locations_of(DeviceId::new(trace.user.raw() as u64));
-        reported.sort_by(|a, b| {
-            (a.x, a.y)
-                .partial_cmp(&(b.x, b.y))
-                .expect("reported coordinates are finite")
-        });
+        reported.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
         reported.dedup();
         report.distinct_reported = reported.len();
         report

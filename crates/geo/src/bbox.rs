@@ -74,6 +74,7 @@ impl BoundingBox {
             (self.min_lat + self.max_lat) / 2.0,
             (self.min_lon + self.max_lon) / 2.0,
         )
+        // lint:allow(panic-hygiene): provably infallible — the midpoint of an in-range coordinate pair stays in range
         .expect("center of a valid box is valid")
     }
 
@@ -87,6 +88,7 @@ impl BoundingBox {
     pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
         let lat = rng.gen_range(self.min_lat..=self.max_lat);
         let lon = rng.gen_range(self.min_lon..=self.max_lon);
+        // lint:allow(panic-hygiene): provably infallible — gen_range keeps both coordinates inside the validated box
         GeoPoint::new(lat, lon).expect("sample inside a valid box is valid")
     }
 

@@ -1,0 +1,295 @@
+//! A minimal JSON reader and writer.
+//!
+//! The workspace vendors no `serde_json`, so the linter carries its own
+//! ~150-line recursive-descent parser — enough to validate that
+//! `BENCH_repro.json` parses and contains the expected experiment keys, and
+//! to emit the machine-readable findings report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects keep insertion order irrelevant — they are
+/// stored sorted so downstream processing is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing content at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected `{c}` at offset {}, found {got:?}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(map)),
+                got => return Err(format!("expected `,` or `}}`, found {got:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                got => return Err(format!("expected `,` or `]`, found {got:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or("invalid hex in \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("invalid escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+/// Escapes a string for embedding in emitted JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates the shape of a `BENCH_repro.json` produced by the repro driver:
+/// a top-level object with `experiment`, `seed`, `threads` and a non-empty
+/// `runs` array whose entries each carry `name` and `wall_ms`.
+pub fn validate_bench_report(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("missing string key `experiment`")?;
+    if experiment.is_empty() {
+        return Err("`experiment` is empty".to_owned());
+    }
+    doc.get("seed").and_then(Json::as_num).ok_or("missing numeric key `seed`")?;
+    doc.get("threads").and_then(Json::as_num).ok_or("missing numeric key `threads`")?;
+    let runs = doc.get("runs").and_then(Json::as_arr).ok_or("missing array key `runs`")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty".to_owned());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        run.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("runs[{i}] missing string key `name`"))?;
+        run.get("wall_ms")
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] missing numeric key `wall_ms`"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\n\"y\""}, "d": true, "e": null}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str().unwrap(), "x\n\"y\"");
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"a": "#).is_err());
+        assert!(parse("[1, 2").is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let original = "line\nwith \"quotes\" and \\slashes\\ and \ttabs";
+        let doc = format!(r#"{{"k": "{}"}}"#, escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn bench_report_validation() {
+        let good = r#"{"experiment": "all", "seed": 0, "threads": 4,
+            "runs": [{"name": "fig9", "wall_ms": 82.3, "threads": 4}]}"#;
+        assert!(validate_bench_report(good).is_ok());
+        assert!(validate_bench_report("{}").is_err());
+        assert!(validate_bench_report(r#"{"experiment": "all", "seed": 0, "threads": 1, "runs": []}"#).is_err());
+        let bad_run = r#"{"experiment": "all", "seed": 0, "threads": 1, "runs": [{"name": "x"}]}"#;
+        assert!(validate_bench_report(bad_run).is_err());
+        assert!(validate_bench_report("not json").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! CLI entry point for `privlocad-lint`.
+//!
+//! ```text
+//! privlocad-lint [--root DIR] [--json PATH] [--bench-json PATH] [--list-rules] [--quiet]
+//! ```
+//!
+//! Exits nonzero when any unsuppressed finding remains or a requested
+//! `--bench-json` file fails validation, so `scripts/check.sh` can gate on it.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privlocad_lint::{json, rules, run};
+
+struct Options {
+    root: PathBuf,
+    json_out: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json_out: None,
+        bench_json: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = take_value(&mut args, "--root")?.into(),
+            "--json" => opts.json_out = Some(take_value(&mut args, "--json")?.into()),
+            "--bench-json" => {
+                opts.bench_json = Some(take_value(&mut args, "--bench-json")?.into())
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: privlocad-lint [--root DIR] [--json PATH] [--bench-json PATH] [--list-rules] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn take_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("privlocad-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{:18} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = run(&opts.root);
+
+    if let Some(path) = &opts.json_out {
+        if let Err(err) = fs::write(path, report.render_json()) {
+            eprintln!("privlocad-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !opts.quiet {
+        print!("{}", report.render_text());
+    }
+
+    let mut failed = report.unsuppressed_count() > 0;
+
+    if let Some(path) = &opts.bench_json {
+        match fs::read_to_string(path) {
+            Ok(text) => match json::validate_bench_report(&text) {
+                Ok(()) => {
+                    if !opts.quiet {
+                        println!("privlocad-lint: {} is a valid bench report", path.display());
+                    }
+                }
+                Err(err) => {
+                    eprintln!("privlocad-lint: {} is invalid: {err}", path.display());
+                    failed = true;
+                }
+            },
+            Err(err) => {
+                eprintln!("privlocad-lint: cannot read {}: {err}", path.display());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

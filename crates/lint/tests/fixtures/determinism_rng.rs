@@ -1,0 +1,7 @@
+// Positive fixture: OS-entropy randomness.
+fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let r = StdRng::from_entropy();
+    x
+}

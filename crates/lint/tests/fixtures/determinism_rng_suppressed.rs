@@ -1,0 +1,6 @@
+// Suppressed fixture: a justified entropy draw.
+fn draw() -> u64 {
+    // lint:allow(determinism-rng): one-off port selection for the local test listener; never touches experiment state
+    let mut rng = rand::thread_rng();
+    0
+}

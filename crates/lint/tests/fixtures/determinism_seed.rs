@@ -1,0 +1,4 @@
+// Positive fixture: ad-hoc RNG seeding in experiment code.
+fn run() {
+    let mut rng = StdRng::seed_from_u64(12345);
+}

@@ -1,0 +1,5 @@
+// Suppressed fixture: a justified ad-hoc seed.
+fn run(master: u64) {
+    // lint:allow(determinism-seed): the master RNG itself is seeded once from the CLI seed argument
+    let mut rng = StdRng::seed_from_u64(master);
+}

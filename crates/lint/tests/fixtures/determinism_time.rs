@@ -1,0 +1,12 @@
+// Positive fixture: wall-clock reads in experiment code.
+use std::time::Instant;
+
+fn measure() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,7 @@
+// Positive fixture: exact float comparisons.
+fn check(x: f64, y: f64) -> bool {
+    if x == 1.0 {
+        return true;
+    }
+    y != f64::INFINITY
+}

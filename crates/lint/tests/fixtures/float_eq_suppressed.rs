@@ -1,0 +1,8 @@
+// Suppressed fixture: a justified exact-zero guard.
+fn guard(x: f64) -> f64 {
+    // lint:allow(float-eq): exact-zero fast path; 0.0 is exactly representable and the only sentinel
+    if x == 0.0 {
+        return 0.0;
+    }
+    x.ln()
+}

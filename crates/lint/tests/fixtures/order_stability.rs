@@ -1,0 +1,8 @@
+// Positive fixture: randomized-order containers in a result-producing crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn tally(xs: &[u64]) -> usize {
+    let set: HashSet<u64> = xs.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,8 @@
+// Suppressed fixture: a justified keyed-lookup map.
+// lint:allow(order-stability): cache is keyed-lookup only and never iterated to produce results
+use std::collections::HashMap;
+
+struct Cache {
+    // lint:allow(order-stability): cache is keyed-lookup only and never iterated to produce results
+    inner: HashMap<u64, f64>,
+}

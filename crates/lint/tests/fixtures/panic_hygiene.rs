@@ -1,0 +1,9 @@
+// Positive fixture: panics in library code of a panic-free crate.
+fn brittle(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a != b {
+        panic!("impossible");
+    }
+    a
+}

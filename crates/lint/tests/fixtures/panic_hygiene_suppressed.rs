@@ -1,0 +1,5 @@
+// Suppressed fixture: a provably-infallible expect.
+fn covered(xs: &[u32]) -> u32 {
+    // lint:allow(panic-hygiene): provably infallible — the caller guarantees xs is non-empty
+    *xs.first().expect("non-empty by construction")
+}

@@ -1,0 +1,8 @@
+// Positive fixture: struct-literal construction of mechanism parameters.
+fn forge() -> GeoIndParams {
+    GeoIndParams { r: -5.0, epsilon: 0.0, delta: 2.0, n: 0 }
+}
+
+fn forge_laplace() -> PlanarLaplaceParams {
+    PlanarLaplaceParams { epsilon_per_meter: -1.0 }
+}

@@ -1,0 +1,6 @@
+// Suppressed fixture: a justified literal (e.g. in a serde visitor).
+fn rebuild(r: f64, epsilon: f64, delta: f64, n: usize) -> GeoIndParams {
+    // lint:allow(privacy-params): deserialization re-validates via GeoIndParams::new immediately below
+    let raw = GeoIndParams { r, epsilon, delta, n };
+    raw
+}

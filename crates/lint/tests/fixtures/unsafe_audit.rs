@@ -1,0 +1,4 @@
+// Positive fixture: an unsafe block with no SAFETY comment.
+fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,61 @@
+//! The acceptance gate as a test: the lint pass over the real workspace must
+//! come back with **zero unsuppressed findings**, and the checked-in
+//! benchmark report must validate. This is the same invariant
+//! `scripts/check.sh` enforces via the CLI, pinned here so `cargo test`
+//! alone catches a regression.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use privlocad_lint::{json, run};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_findings() {
+    let report = run(&workspace_root());
+    let loud: Vec<String> = report
+        .unsuppressed()
+        .map(|f| format!("{}:{} {}: {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(loud.is_empty(), "unsuppressed lint findings:\n{}", loud.join("\n"));
+}
+
+#[test]
+fn live_workspace_scan_is_substantial() {
+    let report = run(&workspace_root());
+    // The walker must actually reach the crates: a path bug that silently
+    // scanned nothing would also report zero findings.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned; walker lost the workspace",
+        report.files_scanned
+    );
+    // The burn-down left documented suppressions behind (bench timing,
+    // spatial-hash maps, infallible expects); their disappearance means the
+    // suppression resolution broke, not that the code got cleaner.
+    assert!(report.suppressed_count() > 0, "expected documented suppressions to resolve");
+    // Every suppressed finding carries its justification into the report.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| !f.is_active())
+        .all(|f| !f.suppressed.as_deref().unwrap_or("").is_empty()));
+}
+
+#[test]
+fn live_json_report_parses_with_our_own_parser() {
+    let report = run(&workspace_root());
+    let doc = json::parse(&report.render_json()).expect("report JSON must parse");
+    let active = doc.get("active").and_then(|v| v.as_num()).expect("active count");
+    assert_eq!(active as usize, 0);
+}
+
+#[test]
+fn checked_in_bench_report_validates() {
+    let path = workspace_root().join("BENCH_repro.json");
+    let text = fs::read_to_string(&path).expect("BENCH_repro.json must exist at the root");
+    json::validate_bench_report(&text).expect("BENCH_repro.json must be a valid bench report");
+}

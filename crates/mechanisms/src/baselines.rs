@@ -53,6 +53,7 @@ impl NaivePostProcessing {
             spread_radius.is_finite() && spread_radius > 0.0,
             "spread radius must be positive and finite"
         );
+        // lint:allow(panic-hygiene): provably infallible — with_n only rejects n = 0
         let single = params.with_n(1).expect("n = 1 is always valid");
         NaivePostProcessing {
             params,
@@ -78,6 +79,7 @@ impl Lppm for NaivePostProcessing {
     fn obfuscate_into(&self, real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
         let anchor = self.base.sample_one(real, rng);
         let disc = Circle::new(anchor, self.spread_radius)
+            // lint:allow(panic-hygiene): provably infallible — the constructor validated the radius and mechanism outputs are finite
             .expect("validated spread radius and finite anchor");
         out.reserve(self.params.n());
         for _ in 0..self.params.n() {

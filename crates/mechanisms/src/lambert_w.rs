@@ -20,6 +20,7 @@ fn halley(mut w: f64, x: f64) -> f64 {
     for _ in 0..50 {
         let ew = w.exp();
         let f = w * ew - x;
+        // lint:allow(float-eq): Halley residual hit zero exactly; any tolerance here would mask true convergence
         if f == 0.0 {
             break;
         }
@@ -49,6 +50,7 @@ pub fn w0(x: f64) -> f64 {
     if x.is_nan() || x < -INV_E {
         return f64::NAN;
     }
+    // lint:allow(float-eq): W(0) = 0 is an exact special point; nearby inputs are handled by the series below
     if x == 0.0 {
         return 0.0;
     }

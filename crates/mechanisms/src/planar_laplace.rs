@@ -72,6 +72,7 @@ impl PlanarLaplace {
     /// Panics if `p ∉ [0, 1)`.
     pub fn radial_quantile(&self, p: f64) -> f64 {
         assert!((0.0..1.0).contains(&p), "probability {p} must be in [0, 1)");
+        // lint:allow(float-eq): quantile of exactly p = 0 is exactly 0; the assert above already bounds p
         if p == 0.0 {
             return 0.0;
         }

@@ -227,8 +227,9 @@ pub fn remap_map(released: Point, prior: &DiscretePrior, noise: NoiseModel) -> P
     let best = post
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("posterior weights are finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
+        // lint:allow(panic-hygiene): provably infallible — DiscretePrior::new rejects empty supports
         .expect("prior is non-empty");
     prior.points()[best]
 }

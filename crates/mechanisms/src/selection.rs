@@ -125,6 +125,7 @@ impl PosteriorSelector {
     /// candidates; the max exponent is subtracted before exponentiation
     /// for numerical stability.
     fn weight_stats(&self, candidates: &[Point]) -> (Point, f64, f64) {
+        // lint:allow(panic-hygiene): provably infallible — callers pass the mechanism output set, which has n >= 1 points
         let mean = centroid(candidates).expect("candidate set must be non-empty");
         let two_sigma_sq = 2.0 * self.sigma * self.sigma;
         let mut max = f64::NEG_INFINITY;

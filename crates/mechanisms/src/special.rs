@@ -23,6 +23,7 @@ pub fn erf(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
     }
+    // lint:allow(float-eq): exact-zero fast path; erf(0) = 0 exactly and any other input takes the series branch
     if x == 0.0 {
         return 0.0;
     }

@@ -158,9 +158,9 @@ pub fn empirical_laplace_ratio(
     assert!(trials > 0, "at least one trial is required");
     let bound = (mech.params().epsilon_per_meter() * p0.distance(p1)).exp();
     let mut rng = seeded(seed);
-    use std::collections::HashMap;
-    let mut c0: HashMap<(i64, i64), f64> = HashMap::new();
-    let mut c1: HashMap<(i64, i64), f64> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut c0: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut c1: BTreeMap<(i64, i64), f64> = BTreeMap::new();
     let key = |p: Point| ((p.x / cell_m).floor() as i64, (p.y / cell_m).floor() as i64);
     for _ in 0..trials {
         *c0.entry(key(mech.sample(p0, &mut rng))).or_default() += 1.0;

@@ -139,6 +139,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
         den_x += (a - mean) * (a - mean);
         den_y += (b - mean) * (b - mean);
     }
+    // lint:allow(float-eq): a constant sample yields an exactly-zero sum of squares; this guards the 0/0 case only
     if den_x == 0.0 || den_y == 0.0 {
         return 0.0; // a constant sample carries no ordering information
     }

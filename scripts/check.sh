@@ -13,6 +13,9 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> privlocad-lint (workspace invariants + bench report shape)"
+./target/release/privlocad-lint --root . --bench-json BENCH_repro.json
+
 echo "==> repro all (smoke, reduced sizes)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
