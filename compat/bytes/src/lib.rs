@@ -4,13 +4,18 @@
 //! integer accessors are big-endian and reading past the end panics (wire
 //! decoders bound-check with their own `need()` helpers before reading).
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::Arc;
 
-/// An immutable byte buffer (cheaply cloneable in upstream `bytes`; here a
-/// plain owned vector, which is all the workspace needs).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// An immutable, cheaply cloneable byte buffer. Like upstream `bytes`, a
+/// `Bytes` is a view (offset range) into shared storage, so [`Bytes::slice`]
+/// and [`Clone`] are O(1) reference bumps — a batch of wire frames can be
+/// encoded into one allocation and handed out as per-frame slices.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -21,17 +26,64 @@ impl Bytes {
 
     /// Creates a buffer by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec() }
+        Bytes::from(data.to_vec())
     }
 
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer sharing the same storage — no copy, no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds of {} bytes",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from(Vec::new())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
     }
 }
 
@@ -39,19 +91,20 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
     }
 }
 
@@ -63,7 +116,7 @@ impl From<&[u8]> for Bytes {
 
 impl From<Bytes> for Vec<u8> {
     fn from(bytes: Bytes) -> Self {
-        bytes.data
+        bytes.to_vec()
     }
 }
 
@@ -96,7 +149,7 @@ impl BytesMut {
 
     /// Freezes the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 
     /// Appends raw bytes.
@@ -277,5 +330,25 @@ mod tests {
         assert_eq!(&b[1..3], &[2, 3]);
         assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
         assert_eq!(Bytes::copy_from_slice(&b[..2]).len(), 2);
+    }
+
+    #[test]
+    fn slice_views_share_storage_without_copying() {
+        let block = Bytes::from(vec![10, 11, 12, 13, 14]);
+        let head = block.slice(0..2);
+        let tail = block.slice(2..5);
+        assert_eq!(&head[..], &[10, 11]);
+        assert_eq!(&tail[..], &[12, 13, 14]);
+        // Nested slices compose relative to the view, not the storage.
+        assert_eq!(&tail.slice(1..3)[..], &[13, 14]);
+        assert_eq!(block.slice(5..5).len(), 0);
+        // Content equality ignores how the view was produced.
+        assert_eq!(head, Bytes::from(vec![10, 11]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_the_end_panics() {
+        let _ = Bytes::from(vec![1, 2]).slice(1..3);
     }
 }

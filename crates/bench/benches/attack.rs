@@ -2,7 +2,9 @@
 //! (connectivity clustering) and Algorithm 1's top-n inference at
 //! realistic per-user check-in volumes.
 
-use privlocad_attack::{DeobfuscationAttack, LocationProfile};
+use privlocad_attack::{
+    connectivity_clusters_with, ClusterScratch, DeobfuscationAttack, LocationProfile,
+};
 use privlocad_bench::microbench::Runner;
 use privlocad_geo::{rng::seeded, Point};
 use privlocad_mechanisms::{Lppm, PlanarLaplace, PlanarLaplaceParams};
@@ -30,6 +32,18 @@ fn bench_profiling(runner: &mut Runner) {
     }
 }
 
+fn bench_clustering(runner: &mut Runner) {
+    // The clustering core with its scratch buffers (grid + neighbor list)
+    // reused across calls — the shape the attack pipeline runs it in.
+    let mut scratch = ClusterScratch::default();
+    for m in [500usize, 2_000] {
+        let pts = workload(m);
+        runner.bench(&format!("clustering/connectivity_clusters_with/{m}"), || {
+            connectivity_clusters_with(std::hint::black_box(&pts), 50.0, &mut scratch)
+        });
+    }
+}
+
 fn bench_deobfuscation(runner: &mut Runner) {
     let mech = PlanarLaplace::new(PlanarLaplaceParams::from_level(4f64.ln(), 200.0).unwrap());
     let attack = DeobfuscationAttack::for_planar_laplace(&mech, 0.05).unwrap();
@@ -44,6 +58,7 @@ fn bench_deobfuscation(runner: &mut Runner) {
 fn main() {
     let mut runner = Runner::new();
     bench_profiling(&mut runner);
+    bench_clustering(&mut runner);
     bench_deobfuscation(&mut runner);
     runner.finish();
 }

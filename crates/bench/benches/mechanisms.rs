@@ -44,8 +44,17 @@ fn bench_output_selection(runner: &mut Runner) {
         let mut rng = seeded(3);
         let candidates = mech.obfuscate(Point::ORIGIN, &mut rng);
         let selector = PosteriorSelector::new(mech.sigma());
+        // Cold: every draw recomputes the centroid and all n posterior
+        // weights (n `exp()` calls) — the pre-cache serving cost.
         runner.bench(&format!("output_selection/posterior/{n}"), || {
             selector.select(std::hint::black_box(&candidates), &mut rng)
+        });
+        // Cached: the cumulative weight table is built once (as the edge
+        // does at protection-install time); a draw is one uniform variate
+        // plus a lookup. Same output stream as the cold path, bit-for-bit.
+        let table = selector.table(&candidates);
+        runner.bench(&format!("output_selection/posterior_cached/{n}"), || {
+            std::hint::black_box(&table).draw(&mut rng)
         });
     }
 }

@@ -1,0 +1,197 @@
+//! The serving-path benchmark driver.
+//!
+//! ```text
+//! Usage: serve [options]
+//!
+//! Options:
+//!   --users N        fleet size (default 64)
+//!   --requests N     requests per measured iteration (default 8192)
+//!   --batch N        requests drained per serving-loop wakeup (default 64)
+//!   --seed N         master seed (default 0)
+//!   --threads N      worker threads for the shared-device stage (default 2)
+//!   --bench-json F   benchmark log to append serving rows to
+//!                    (default BENCH_repro.json in the working directory)
+//! ```
+//!
+//! The serving rows are appended to the existing benchmark log (replacing
+//! any earlier `serve/...` rows, so reruns never accumulate), and the
+//! merged document is re-validated with the same schema check that
+//! `privlocad-lint --bench-json` applies in CI.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privlocad_bench::serve::{self, Config, ServeRow};
+use privlocad_lint::json::{parse, render, validate_bench_report, Json};
+
+#[derive(Debug, Clone)]
+struct Options {
+    config: Config,
+    bench_json: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: serve [--users N] [--requests N] [--batch N] [--seed N] [--threads N] \
+     [--bench-json FILE]"
+}
+
+fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} {v}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { config: Config::default(), bench_json: PathBuf::from("BENCH_repro.json") };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => opts.config.users = num(&mut it, "--users")?.max(1),
+            "--requests" => opts.config.requests = num(&mut it, "--requests")?.max(1),
+            "--batch" => opts.config.batch = num(&mut it, "--batch")?.max(1),
+            "--seed" => opts.config.seed = num(&mut it, "--seed")? as u64,
+            "--threads" => opts.config.threads = num(&mut it, "--threads")?.max(1),
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn row_to_json(row: &ServeRow) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Json::Str(row.name.clone()));
+    obj.insert("wall_ms".to_owned(), Json::Num(row.wall_ms));
+    obj.insert("requests_per_sec".to_owned(), Json::Num(row.requests_per_sec));
+    obj.insert("batch".to_owned(), Json::Num(row.batch as f64));
+    obj.insert("threads".to_owned(), Json::Num(row.threads as f64));
+    Json::Obj(obj)
+}
+
+/// Loads the benchmark log (or starts a fresh one), drops any stale
+/// `serve/...` rows, appends the new rows, and returns the merged document.
+fn merge_log(existing: Option<&str>, opts: &Options, rows: &[ServeRow]) -> Result<Json, String> {
+    let mut doc = match existing {
+        Some(text) => parse(text)?,
+        None => {
+            let mut obj = BTreeMap::new();
+            obj.insert("experiment".to_owned(), Json::Str("serve".to_owned()));
+            obj.insert("seed".to_owned(), Json::Num(opts.config.seed as f64));
+            obj.insert("threads".to_owned(), Json::Num(opts.config.threads as f64));
+            obj.insert("runs".to_owned(), Json::Arr(Vec::new()));
+            Json::Obj(obj)
+        }
+    };
+    let Json::Obj(obj) = &mut doc else {
+        return Err("benchmark log root is not an object".to_owned());
+    };
+    let Some(Json::Arr(runs)) = obj.get_mut("runs") else {
+        return Err("benchmark log has no `runs` array".to_owned());
+    };
+    runs.retain(|run| {
+        !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("serve/"))
+    });
+    runs.extend(rows.iter().map(row_to_json));
+    Ok(doc)
+}
+
+fn write_log(opts: &Options, rows: &[ServeRow]) -> Result<(), String> {
+    let existing = std::fs::read_to_string(&opts.bench_json).ok();
+    let doc = merge_log(existing.as_deref(), opts, rows)?;
+    let text = render(&doc);
+    validate_bench_report(&text)?;
+    std::fs::write(&opts.bench_json, &text)
+        .map_err(|e| format!("cannot write {}: {e}", opts.bench_json.display()))?;
+    println!("[bench] wrote {}", opts.bench_json.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = serve::run(&opts.config);
+    print!("{}", out.table().render());
+    if let Some(speedup) = out.batched_speedup() {
+        println!(
+            "\nbatched+cached vs legacy single-request path: {speedup:.1}x \
+             (acceptance floor: 5x)"
+        );
+    }
+    if let Err(e) = write_log(&opts, &out.rows) {
+        eprintln!("[bench] {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn row(name: &str) -> ServeRow {
+        ServeRow {
+            name: name.to_owned(),
+            wall_ms: 2.5,
+            ns_per_request: 305.2,
+            requests_per_sec: 3_276_800.0,
+            batch: 64,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config.users, 64);
+        assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
+        let o = parse_args(&args(
+            "--users 8 --requests 512 --batch 32 --seed 9 --threads 4 --bench-json s.json",
+        ))
+        .unwrap();
+        assert_eq!((o.config.users, o.config.requests, o.config.batch), (8, 512, 32));
+        assert_eq!((o.config.seed, o.config.threads), (9, 4));
+        assert_eq!(o.bench_json, PathBuf::from("s.json"));
+        assert!(parse_args(&args("--wat")).unwrap_err().contains("unknown option"));
+        assert!(parse_args(&args("--batch x")).unwrap_err().contains("bad --batch"));
+    }
+
+    #[test]
+    fn merge_replaces_stale_serve_rows_and_validates() {
+        let opts = parse_args(&[]).unwrap();
+        let existing = r#"{"experiment": "all", "seed": 0, "threads": 2, "runs": [
+            {"name": "fig9", "wall_ms": 80.0, "threads": 2, "users": null, "trials": 100},
+            {"name": "serve/legacy_single", "wall_ms": 9.9, "requests_per_sec": 1.0,
+             "batch": 1, "threads": 1}
+        ]}"#;
+        let doc = merge_log(Some(existing), &opts, &[row("serve/batched_cached/64")]).unwrap();
+        let runs = match doc.get("runs") {
+            Some(Json::Arr(runs)) => runs,
+            other => panic!("runs missing: {other:?}"),
+        };
+        let names: Vec<_> =
+            runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, ["fig9", "serve/batched_cached/64"]);
+        validate_bench_report(&render(&doc)).expect("merged log must validate");
+    }
+
+    #[test]
+    fn fresh_log_carries_the_required_header() {
+        let opts = parse_args(&args("--seed 5 --threads 3")).unwrap();
+        let doc = merge_log(None, &opts, &[row("serve/single_cached")]).unwrap();
+        validate_bench_report(&render(&doc)).expect("fresh log must validate");
+    }
+}

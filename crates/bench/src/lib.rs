@@ -28,5 +28,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod microbench;
 pub mod report;
+pub mod serve;
 pub mod tables;
 pub mod verify;

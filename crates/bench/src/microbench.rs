@@ -15,6 +15,11 @@ pub struct Measurement {
     pub label: String,
     /// Median wall-clock nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Fastest sample's nanoseconds per iteration. On a shared machine
+    /// interference is strictly additive, so the minimum is the
+    /// lowest-variance estimate of intrinsic cost — the statistic of
+    /// choice when two rows are compared as a ratio.
+    pub min_ns_per_iter: f64,
     /// Elements processed per iteration (for throughput rows).
     pub elements: Option<u64>,
 }
@@ -27,8 +32,10 @@ pub struct Runner {
 
 /// Target wall-clock time for one measurement sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(60);
-/// Samples per benchmark; the median is reported.
-const SAMPLES: usize = 5;
+/// Samples per benchmark; the median is reported (and the minimum kept).
+/// Nine samples give the minimum a real chance of landing in a quiet
+/// scheduling window on busy single-core CI machines.
+const SAMPLES: usize = 9;
 
 impl Runner {
     /// Creates an empty runner.
@@ -51,37 +58,46 @@ impl Runner {
         });
     }
 
+    /// Measures two throughput workloads with their samples interleaved:
+    /// one sample of `a`, one of `b`, repeated. Use this when the two rows
+    /// will be compared as a ratio — on a busy (single-core CI) machine an
+    /// interference burst then hits both workloads symmetrically instead
+    /// of polluting one side of the comparison.
+    pub fn bench_throughput_paired<T, U>(
+        &mut self,
+        a: (&str, u64, &mut impl FnMut() -> T),
+        b: (&str, u64, &mut impl FnMut() -> U),
+    ) {
+        let (label_a, elements_a, f_a) = a;
+        let (label_b, elements_b, f_b) = b;
+        let mut run_a = || {
+            std::hint::black_box(f_a());
+        };
+        let mut run_b = || {
+            std::hint::black_box(f_b());
+        };
+        let iters_a = calibrate(&mut run_a);
+        let iters_b = calibrate(&mut run_b);
+        let mut samples_a = Vec::with_capacity(SAMPLES);
+        let mut samples_b = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            samples_a.push(sample(&mut run_a, iters_a));
+            samples_b.push(sample(&mut run_b, iters_b));
+        }
+        for (label, elements, samples) in
+            [(label_a, elements_a, samples_a), (label_b, elements_b, samples_b)]
+        {
+            let row = summarize(label, Some(elements), samples);
+            println!("{}", render(&row));
+            self.rows.push(row);
+        }
+    }
+
     fn push_row(&mut self, label: &str, elements: Option<u64>, f: &mut dyn FnMut()) {
-        // Warm up and estimate the per-iteration cost.
-        let mut iters: u64 = 1;
-        let per_iter = loop {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(10) {
-                break elapsed.as_secs_f64() / iters as f64;
-            }
-            iters = iters.saturating_mul(8);
-        };
-        let sample_iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
-        let mut samples: Vec<f64> = (0..SAMPLES)
-            .map(|_| {
-                let start = Instant::now();
-                for _ in 0..sample_iters {
-                    f();
-                }
-                start.elapsed().as_secs_f64() / sample_iters as f64
-            })
-            .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
-        let median = samples[samples.len() / 2];
-        let row = Measurement {
-            label: label.to_string(),
-            ns_per_iter: median * 1e9,
-            elements,
-        };
+        let sample_iters = calibrate(f);
+        let samples: Vec<f64> =
+            (0..SAMPLES).map(|_| sample(f, sample_iters)).collect();
+        let row = summarize(label, elements, samples);
         println!("{}", render(&row));
         self.rows.push(row);
     }
@@ -93,6 +109,44 @@ impl Runner {
             println!("{}", render(row));
         }
         self.rows
+    }
+}
+
+/// Warms `f` up and picks an iteration count filling [`SAMPLE_TARGET`].
+fn calibrate<F: FnMut() + ?Sized>(f: &mut F) -> u64 {
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(10) {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(8);
+    };
+    ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1)
+}
+
+/// One timed sample: seconds per iteration over `iters` runs of `f`.
+fn sample<F: FnMut() + ?Sized>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Collapses raw samples into a [`Measurement`] (median + minimum).
+fn summarize(label: &str, elements: Option<u64>, mut samples: Vec<f64>) -> Measurement {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    Measurement {
+        label: label.to_string(),
+        ns_per_iter: median * 1e9,
+        min_ns_per_iter: samples[0] * 1e9,
+        elements,
     }
 }
 
@@ -144,6 +198,8 @@ mod tests {
         let rows = runner.finish();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].ns_per_iter > 0.0);
+        assert!(rows[0].min_ns_per_iter > 0.0);
+        assert!(rows[0].min_ns_per_iter <= rows[0].ns_per_iter);
     }
 
     #[test]

@@ -1,33 +1,14 @@
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
-use privlocad_mechanisms::{
-    PlanarLaplace, PosteriorSelector, SelectionStrategy, UniformSelector,
-};
+use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 
-use crate::{LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
-
-/// Per-user state, independently lockable so requests from different users
-/// never contend.
-#[derive(Debug)]
-struct UserSlot {
-    manager: LocationManager,
-    obfuscation: ObfuscationModule,
-}
-
-impl UserSlot {
-    fn new(config: &SystemConfig) -> Self {
-        UserSlot {
-            manager: LocationManager::new(config.profile_theta_m(), config.eta()),
-            obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
-        }
-    }
-}
+use crate::user::{UserMap, UserState};
+use crate::SystemConfig;
 
 /// A thread-shared edge device: many mobile clients (threads) report
 /// check-ins and request obfuscated locations concurrently.
@@ -37,7 +18,9 @@ impl UserSlot {
 /// deterministic core, and this wrapper adds the concurrent serving layer:
 /// a read-mostly user directory (`RwLock`) over independently locked user
 /// slots (`Mutex`), so hot-path requests of different users proceed in
-/// parallel and only directory growth takes the write lock.
+/// parallel and only directory growth takes the write lock. Both devices
+/// share the same per-user state and request hot path
+/// (`crate::user::UserState`), including the posterior-selection cache.
 ///
 /// Randomness comes from a per-operation RNG derived from an atomic
 /// counter, so concurrent use is safe; unlike [`crate::EdgeDevice`] the
@@ -64,7 +47,7 @@ impl UserSlot {
 pub struct SharedEdgeDevice {
     config: SystemConfig,
     nomadic: PlanarLaplace,
-    users: RwLock<BTreeMap<UserId, Arc<Mutex<UserSlot>>>>,
+    users: RwLock<UserMap<Arc<Mutex<UserState>>>>,
     seed: u64,
     op_counter: AtomicU64,
 }
@@ -75,7 +58,7 @@ impl SharedEdgeDevice {
         SharedEdgeDevice {
             nomadic: PlanarLaplace::new(config.nomadic()),
             config,
-            users: RwLock::new(BTreeMap::new()),
+            users: RwLock::new(UserMap::new()),
             seed,
             op_counter: AtomicU64::new(0),
         }
@@ -91,14 +74,13 @@ impl SharedEdgeDevice {
         self.users.read().len()
     }
 
-    fn slot(&self, user: UserId) -> Arc<Mutex<UserSlot>> {
-        if let Some(slot) = self.users.read().get(&user) {
+    fn slot(&self, user: UserId) -> Arc<Mutex<UserState>> {
+        if let Some(slot) = self.users.read().get(user) {
             return Arc::clone(slot);
         }
         let mut map = self.users.write();
         Arc::clone(
-            map.entry(user)
-                .or_insert_with(|| Arc::new(Mutex::new(UserSlot::new(&self.config)))),
+            map.entry_or_insert_with(user, || Arc::new(Mutex::new(UserState::new(&self.config)))),
         )
     }
 
@@ -129,19 +111,29 @@ impl SharedEdgeDevice {
     pub fn finalize_window_with(&self, user: UserId, rng: &mut dyn rand::RngCore) -> usize {
         let slot = self.slot(user);
         let mut state = slot.lock();
-        let tops: Vec<Point> =
-            state.manager.finalize_window().iter().map(|e| e.location).collect();
-        state.obfuscation.obfuscate_top_set(&tops, rng)
+        state.finalize_window(&self.config, rng)
     }
 
     /// The permanent candidates covering `location`, if any.
+    ///
+    /// Owned (unlike [`crate::EdgeDevice::candidates`]): the borrow would
+    /// otherwise have to hold the user's slot lock.
     pub fn candidates(&self, user: UserId, location: Point) -> Option<Vec<Point>> {
-        let slot = self.users.read().get(&user).map(Arc::clone)?;
+        let slot = self.users.read().get(user).map(Arc::clone)?;
         let state = slot.lock();
         let top = state
             .manager
             .matching_top(location, self.config.top_match_radius_m())?;
         state.obfuscation.table().get(top).map(<[Point]>::to_vec)
+    }
+
+    /// Drops every user's cached posterior-weight table (see
+    /// [`crate::EdgeDevice::flush_selection_cache`]); outputs are
+    /// unaffected, the tables rebuild lazily.
+    pub fn flush_selection_cache(&self) {
+        for slot in self.users.read().values() {
+            slot.lock().selection.invalidate();
+        }
     }
 
     /// Produces the location to report for an ad request at
@@ -159,28 +151,34 @@ impl SharedEdgeDevice {
         &self,
         user: UserId,
         current_true: Point,
-        rng: &mut dyn rand::RngCore,
+        mut rng: &mut dyn rand::RngCore,
     ) -> Point {
         let slot = self.slot(user);
         let mut state = slot.lock();
-        match state
-            .manager
-            .matching_top(current_true, self.config.top_match_radius_m())
-        {
-            Some(top) => {
-                let sigma = state.obfuscation.mechanism().sigma();
-                let candidates = state.obfuscation.candidates_for(top, rng).to_vec();
-                let idx = match self.config.selection() {
-                    SelectionKind::Posterior => {
-                        PosteriorSelector::new(sigma).select(&candidates, rng)
-                    }
-                    SelectionKind::Uniform => {
-                        UniformSelector::new().select(&candidates, rng)
-                    }
-                };
-                candidates[idx]
-            }
-            None => self.nomadic.sample(current_true, rng),
+        state.reported_location(&self.config, &self.nomadic, current_true, &mut rng)
+    }
+
+    /// Batched [`SharedEdgeDevice::reported_location_with`]: answers one
+    /// request per entry of `positions`, appending to `out`, under a
+    /// *single* acquisition of the user's slot lock.
+    ///
+    /// This is the concurrent serving fast path: a worker draining a
+    /// queue of requests for one user pays the lock (and the directory
+    /// read) once per batch instead of once per request, and the RNG is
+    /// consumed in exactly the same order as the equivalent sequence of
+    /// single-request calls — outputs are bit-for-bit identical.
+    pub fn reported_locations_with(
+        &self,
+        user: UserId,
+        positions: &[Point],
+        mut rng: &mut dyn rand::RngCore,
+        out: &mut Vec<Point>,
+    ) {
+        let slot = self.slot(user);
+        let mut state = slot.lock();
+        out.reserve(positions.len());
+        for &current_true in positions {
+            out.push(state.reported_location(&self.config, &self.nomadic, current_true, &mut rng));
         }
     }
 }
@@ -312,6 +310,62 @@ mod tests {
         let forward = build(&[0, 1, 2, 3]);
         let backward = build(&[3, 2, 1, 0]);
         assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn batched_requests_match_singular_calls() {
+        use privlocad_geo::rng::seeded;
+        let user = UserId::new(5);
+        let home = Point::new(750.0, 0.0);
+        let positions: Vec<Point> = (0..64)
+            .map(|i| if i % 5 == 0 { Point::new(30_000.0, 0.0) } else { home })
+            .collect();
+        let settle = |edge: &SharedEdgeDevice, rng: &mut dyn rand::RngCore| {
+            for _ in 0..40 {
+                edge.report_checkin(user, home);
+            }
+            edge.finalize_window_with(user, rng);
+        };
+
+        let batched = device();
+        let mut rng = seeded(7);
+        settle(&batched, &mut rng);
+        let mut out = Vec::new();
+        batched.reported_locations_with(user, &positions, &mut rng, &mut out);
+
+        let singular = device();
+        let mut rng = seeded(7);
+        settle(&singular, &mut rng);
+        let expected: Vec<Point> = positions
+            .iter()
+            .map(|&p| singular.reported_location_with(user, p, &mut rng))
+            .collect();
+
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn flush_selection_cache_keeps_outputs_identical() {
+        use privlocad_geo::rng::seeded;
+        let run = |flush: bool| {
+            let edge = device();
+            let user = UserId::new(2);
+            let home = Point::new(100.0, 100.0);
+            let mut rng = seeded(19);
+            for _ in 0..40 {
+                edge.report_checkin(user, home);
+            }
+            edge.finalize_window_with(user, &mut rng);
+            (0..30)
+                .map(|_| {
+                    if flush {
+                        edge.flush_selection_cache();
+                    }
+                    edge.reported_location_with(user, home, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

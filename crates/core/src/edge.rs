@@ -1,31 +1,13 @@
-use std::collections::BTreeMap;
-
 use privlocad_adnet::{AdNetwork, AuctionOutcome, BidRequest, Campaign, DeviceId};
 use privlocad_geo::rng::seeded;
 use privlocad_geo::Point;
-use privlocad_mechanisms::{
-    PlanarLaplace, PosteriorSelector, SelectionStrategy, UniformSelector,
-};
+use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 use rand::rngs::StdRng;
 
-use crate::{filter_ads, LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
-
-/// Per-user state held by the edge device.
-#[derive(Debug, Clone)]
-struct UserState {
-    manager: LocationManager,
-    obfuscation: ObfuscationModule,
-}
-
-impl UserState {
-    fn new(config: &SystemConfig) -> Self {
-        UserState {
-            manager: LocationManager::new(config.profile_theta_m(), config.eta()),
-            obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
-        }
-    }
-}
+use crate::protocol::{ClientRequest, EdgeResponse};
+use crate::user::{UserMap, UserState};
+use crate::{filter_ads_by, SystemConfig};
 
 /// What the edge hands back to the mobile device for one ad request.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,9 +24,9 @@ pub struct AdDelivery {
 
 /// A trusted edge device serving many users (Fig. 5).
 ///
-/// Owns every user's location-management state and obfuscation table, and
-/// performs output selection per ad request. All operations are
-/// deterministic given the construction seed.
+/// Owns every user's location-management state, obfuscation table, and
+/// posterior-selection cache, and performs output selection per ad
+/// request. All operations are deterministic given the construction seed.
 ///
 /// For a thread-shared variant used by the scalability evaluation see
 /// [`crate::system::LbaSimulation`] and the `concurrent` integration
@@ -53,7 +35,7 @@ pub struct AdDelivery {
 pub struct EdgeDevice {
     config: SystemConfig,
     nomadic: PlanarLaplace,
-    users: BTreeMap<UserId, UserState>,
+    users: UserMap<UserState>,
     rng: StdRng,
 }
 
@@ -63,7 +45,7 @@ impl EdgeDevice {
         EdgeDevice {
             nomadic: PlanarLaplace::new(config.nomadic()),
             config,
-            users: BTreeMap::new(),
+            users: UserMap::new(),
             rng: seeded(seed),
         }
     }
@@ -80,7 +62,7 @@ impl EdgeDevice {
 
     fn state_mut(&mut self, user: UserId) -> &mut UserState {
         let config = &self.config;
-        self.users.entry(user).or_insert_with(|| UserState::new(config))
+        self.users.entry_or_insert_with(user, || UserState::new(config))
     }
 
     /// Records a true-location check-in into the user's current profile
@@ -90,69 +72,90 @@ impl EdgeDevice {
     }
 
     /// Closes the user's profile window: recomputes the η-frequent
-    /// location set and generates permanent candidates for any new top
-    /// location. Returns the number of freshly obfuscated top locations.
+    /// location set, generates permanent candidates for any new top
+    /// location, and rebuilds the posterior-selection cache for the new
+    /// top set. Returns the number of freshly obfuscated top locations.
     pub fn finalize_window(&mut self, user: UserId) -> usize {
-        let state = self.users.entry(user).or_insert_with({
-            let config = &self.config;
-            move || UserState::new(config)
-        });
-        let tops: Vec<Point> =
-            state.manager.finalize_window().iter().map(|e| e.location).collect();
-        state.obfuscation.obfuscate_top_set(&tops, &mut self.rng)
+        let config = self.config;
+        let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
+        state.finalize_window(&config, &mut self.rng)
     }
 
     /// Closes the user's window and returns the *local* profile without
     /// obfuscating anything — the first half of the multi-edge flow, where
     /// a fleet authority merges partial profiles before a single
     /// obfuscation pass. Returns `None` for unknown users.
+    ///
+    /// Invalidates the user's posterior-selection cache: the merged top
+    /// set installed afterwards may differ from the local one.
     pub fn close_window_profile(
         &mut self,
         user: UserId,
     ) -> Option<privlocad_attack::LocationProfile> {
-        let state = self.users.get_mut(&user)?;
+        let state = self.users.get_mut(user)?;
         state.manager.finalize_window();
+        state.selection.invalidate();
         Some(state.manager.profile().clone())
     }
 
     /// Installs a merged top set plus its (fleet-generated) permanent
     /// candidate sets — the second half of the multi-edge flow. Candidate
     /// sets for already-covered locations are ignored (permanence).
+    ///
+    /// Pre-warms the posterior-selection cache for the installed top set,
+    /// so the first ad request after installation already serves from
+    /// cache.
     pub fn install_protection(
         &mut self,
         user: UserId,
         tops: Vec<privlocad_attack::ProfileEntry>,
         candidate_sets: &[(Point, Vec<Point>)],
     ) {
-        let config = &self.config;
-        let state = self.users.entry(user).or_insert_with(|| UserState::new(config));
+        let config = self.config;
+        let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
         state.manager.set_top_set(tops);
+        state.selection.invalidate();
         for (top, candidates) in candidate_sets {
             state.obfuscation.install(*top, candidates.clone());
         }
+        state.warm_selection(&config);
     }
 
     /// Closes the window of every known user; returns the total number of
     /// freshly obfuscated top locations (the Table II workload).
     pub fn finalize_all(&mut self) -> usize {
-        let users: Vec<UserId> = self.users.keys().copied().collect();
+        let users: Vec<UserId> = self.users.keys().collect();
         users.into_iter().map(|u| self.finalize_window(u)).sum()
+    }
+
+    /// Drops every user's cached posterior-weight table.
+    ///
+    /// The cache is pure post-processing acceleration, so flushing never
+    /// changes outputs — the tables are rebuilt from the permanent
+    /// candidates on the next request. Exists so tests (and paranoid
+    /// operators) can force the from-scratch path.
+    pub fn flush_selection_cache(&mut self) {
+        for state in self.users.values_mut() {
+            state.selection.invalidate();
+        }
     }
 
     /// Assesses the longitudinal exposure of a user's last profiled window
     /// (the "assess the risk of location privacy breaches" role of the
     /// edge). Returns `None` for unknown users.
     pub fn risk_report(&self, user: UserId) -> Option<crate::RiskReport> {
-        let state = self.users.get(&user)?;
+        let state = self.users.get(user)?;
         Some(crate::RiskAssessor::default().assess(state.manager.profile()))
     }
 
     /// The permanent candidates covering `location`, if the user is at a
-    /// protected top location.
-    pub fn candidates(&self, user: UserId, location: Point) -> Option<Vec<Point>> {
-        let state = self.users.get(&user)?;
+    /// protected top location. Borrows straight from the obfuscation
+    /// table — clone with `.to_vec()` if you need to hold the set across
+    /// later `&mut self` calls.
+    pub fn candidates(&self, user: UserId, location: Point) -> Option<&[Point]> {
+        let state = self.users.get(user)?;
         let top = state.manager.matching_top(location, self.config.top_match_radius_m())?;
-        state.obfuscation.table().get(top).map(<[Point]>::to_vec)
+        state.obfuscation.table().get(top)
     }
 
     /// Produces the location to report for an ad request at
@@ -160,26 +163,42 @@ impl EdgeDevice {
     /// user is at a top location (Algorithm 4), or a fresh one-time
     /// planar-Laplace obfuscation for nomadic positions.
     pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
-        let match_radius = self.config.top_match_radius_m();
-        let selection = self.config.selection();
-        let nomadic = self.nomadic;
-        let config = &self.config;
-        let state = self.users.entry(user).or_insert_with(|| UserState::new(config));
-        match state.manager.matching_top(current_true, match_radius) {
-            Some(top) => {
-                let candidates = state.obfuscation.candidates_for(top, &mut self.rng).to_vec();
-                let sigma = state.obfuscation.mechanism().sigma();
-                let idx = match selection {
-                    SelectionKind::Posterior => {
-                        PosteriorSelector::new(sigma).select(&candidates, &mut self.rng)
+        // Split borrows: no per-request copy of the config.
+        let Self { users, config, nomadic, rng, .. } = self;
+        let state = users.entry_or_insert_with(user, || UserState::new(config));
+        state.reported_location(config, nomadic, current_true, rng)
+    }
+
+    /// Serves a batch of protocol requests in order, pushing exactly one
+    /// response per request onto `responses` (appended; the caller owns
+    /// clearing). One `serve_batch` call is one serving-loop wakeup — see
+    /// [`crate::EdgeServer`], which drains its queue into this.
+    ///
+    /// `Shutdown` is a transport-level concern; at the device level it is
+    /// a no-op acknowledged with [`EdgeResponse::Ack`].
+    pub fn serve_batch(
+        &mut self,
+        requests: &[ClientRequest],
+        responses: &mut Vec<EdgeResponse>,
+    ) {
+        responses.reserve(requests.len());
+        for request in requests {
+            let response = match *request {
+                ClientRequest::CheckIn { user, location, .. } => {
+                    self.report_checkin(user, location);
+                    EdgeResponse::Ack
+                }
+                ClientRequest::RequestLocation { user, location } => {
+                    EdgeResponse::ReportedLocation {
+                        location: self.reported_location(user, location),
                     }
-                    SelectionKind::Uniform => {
-                        UniformSelector::new().select(&candidates, &mut self.rng)
-                    }
-                };
-                candidates[idx]
-            }
-            None => nomadic.sample(current_true, &mut self.rng),
+                }
+                ClientRequest::FinalizeWindow { user } => EdgeResponse::WindowClosed {
+                    fresh_obfuscations: self.finalize_window(user) as u32,
+                },
+                ClientRequest::Shutdown => EdgeResponse::Ack,
+            };
+            responses.push(response);
         }
     }
 
@@ -201,12 +220,14 @@ impl EdgeDevice {
             timestamp,
         };
         let auction = network.serve(request);
-        let matched: Vec<Campaign> =
-            network.matching(reported).into_iter().cloned().collect();
-        let delivered = filter_ads(&matched, current_true, self.config.targeting_radius_m())
-            .into_iter()
-            .cloned()
-            .collect();
+        let delivered = filter_ads_by(
+            network.matching(reported),
+            current_true,
+            self.config.targeting_radius_m(),
+        )
+        .into_iter()
+        .cloned()
+        .collect();
         AdDelivery { reported, auction, delivered }
     }
 }
@@ -215,7 +236,9 @@ impl EdgeDevice {
 mod tests {
     use super::*;
     use privlocad_adnet::Targeting;
-    use privlocad_mechanisms::NFoldGaussian;
+    use privlocad_mechanisms::{NFoldGaussian, PosteriorSelector};
+
+    use crate::SelectionKind;
 
     fn edge() -> EdgeDevice {
         EdgeDevice::new(SystemConfig::builder().build().unwrap(), 99)
@@ -234,7 +257,7 @@ mod tests {
         let user = UserId::new(1);
         let home = Point::new(1_000.0, 1_000.0);
         settle_home(&mut e, user, home);
-        let candidates = e.candidates(user, home).unwrap();
+        let candidates = e.candidates(user, home).unwrap().to_vec();
         assert_eq!(candidates.len(), 10);
         for _ in 0..50 {
             let reported = e.reported_location(user, home);
@@ -284,10 +307,10 @@ mod tests {
         let user = UserId::new(3);
         let home = Point::new(500.0, 500.0);
         settle_home(&mut e, user, home);
-        let before = e.candidates(user, home).unwrap();
+        let before = e.candidates(user, home).unwrap().to_vec();
         // Same home appears in the next window: candidates must not change.
         settle_home(&mut e, user, home);
-        let after = e.candidates(user, home).unwrap();
+        let after = e.candidates(user, home).unwrap().to_vec();
         assert_eq!(before, after);
     }
 
@@ -299,7 +322,7 @@ mod tests {
         let user = UserId::new(4);
         let home = Point::new(0.0, 0.0);
         settle_home(&mut e, user, home);
-        let candidates = e.candidates(user, home).unwrap();
+        let candidates = e.candidates(user, home).unwrap().to_vec();
         let mech = NFoldGaussian::new(e.config().geo_ind());
         let probs = PosteriorSelector::new(mech.sigma()).probabilities(&candidates);
         let best = probs
@@ -375,7 +398,7 @@ mod tests {
         let user = UserId::new(6);
         let home = Point::ORIGIN;
         settle_home(&mut e, user, home);
-        let candidates = e.candidates(user, home).unwrap();
+        let candidates = e.candidates(user, home).unwrap().to_vec();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
             let rep = e.reported_location(user, home);
@@ -405,5 +428,65 @@ mod tests {
             (0..10).map(|_| e.reported_location(user, Point::new(3.0, 4.0))).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn serve_batch_matches_singular_calls() {
+        let user = UserId::new(8);
+        let home = Point::new(250.0, -250.0);
+        let requests: Vec<ClientRequest> = (0..40)
+            .map(|t| ClientRequest::CheckIn { user, location: home, timestamp: t })
+            .chain([ClientRequest::FinalizeWindow { user }])
+            .chain((0..20).map(|_| ClientRequest::RequestLocation { user, location: home }))
+            .chain([ClientRequest::Shutdown])
+            .collect();
+
+        // Batched device.
+        let mut batched = edge();
+        let mut responses = Vec::new();
+        batched.serve_batch(&requests, &mut responses);
+        assert_eq!(responses.len(), requests.len());
+
+        // Same requests served one call at a time.
+        let mut singular = edge();
+        let mut expected = Vec::new();
+        for r in &requests {
+            singular.serve_batch(std::slice::from_ref(r), &mut expected);
+        }
+        assert_eq!(responses, expected);
+
+        // Spot-check the shape: one window close, reports from candidates.
+        assert_eq!(
+            responses[40],
+            EdgeResponse::WindowClosed { fresh_obfuscations: 1 }
+        );
+        let candidates = batched.candidates(user, home).unwrap();
+        for r in &responses[41..61] {
+            match r {
+                EdgeResponse::ReportedLocation { location } => {
+                    assert!(candidates.contains(location));
+                }
+                other => panic!("expected a reported location, got {other:?}"),
+            }
+        }
+        assert_eq!(responses[61], EdgeResponse::Ack); // device-level Shutdown is a no-op
+    }
+
+    #[test]
+    fn flush_selection_cache_does_not_change_outputs() {
+        let run = |flush: bool| {
+            let mut e = EdgeDevice::new(SystemConfig::builder().build().unwrap(), 31);
+            let user = UserId::new(0);
+            settle_home(&mut e, user, Point::new(3.0, 4.0));
+            (0..25)
+                .map(|_| {
+                    if flush {
+                        e.flush_selection_cache();
+                    }
+                    e.reported_location(user, Point::new(3.0, 4.0))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

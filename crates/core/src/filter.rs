@@ -31,10 +31,25 @@ use privlocad_geo::{Circle, Point};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn filter_ads(ads: &[Campaign], true_location: Point, targeting_radius_m: f64) -> Vec<&Campaign> {
+    filter_ads_by(ads, true_location, targeting_radius_m)
+}
+
+/// [`filter_ads`] over any iterator of campaign references — e.g. the
+/// borrowed matches straight out of `AdNetwork::matching`, without first
+/// cloning them into an owned `Vec<Campaign>`.
+///
+/// # Panics
+///
+/// Panics if `targeting_radius_m` is not positive and finite.
+pub fn filter_ads_by<'a>(
+    ads: impl IntoIterator<Item = &'a Campaign>,
+    true_location: Point,
+    targeting_radius_m: f64,
+) -> Vec<&'a Campaign> {
     let aoi = Circle::new(true_location, targeting_radius_m)
         // lint:allow(panic-hygiene): documented precondition — see the # Panics section above
         .expect("targeting radius must be positive and finite");
-    ads.iter()
+    ads.into_iter()
         .filter(|ad| match ad.business_location() {
             Some(loc) => aoi.contains(loc),
             None => true,
@@ -74,6 +89,19 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(filter_ads(&[], Point::ORIGIN, 5_000.0).is_empty());
+    }
+
+    #[test]
+    fn by_iterator_matches_slice_variant() {
+        let ads = vec![radius_ad(0, 1_000.0), radius_ad(1, 99_000.0), radius_ad(2, 3_000.0)];
+        let prefiltered: Vec<&Campaign> = ads.iter().filter(|a| a.id().raw() != 2).collect();
+        let kept = filter_ads_by(prefiltered, Point::ORIGIN, 5_000.0);
+        let ids: Vec<u64> = kept.iter().map(|a| a.id().raw()).collect();
+        assert_eq!(ids, vec![0]);
+        assert_eq!(
+            filter_ads(&ads, Point::ORIGIN, 5_000.0),
+            filter_ads_by(&ads, Point::ORIGIN, 5_000.0)
+        );
     }
 
     #[test]

@@ -200,7 +200,7 @@ mod tests {
             f.report_checkin(user, home);
         }
         f.finalize_user_window(user);
-        let from_a = f.edge(0).candidates(user, home).unwrap();
+        let from_a = f.edge(0).candidates(user, home).unwrap().to_vec();
         let from_b = f.edge(1).candidates(user, home).unwrap();
         assert_eq!(from_a, from_b, "fleet-wide consistency");
         // Requests through the fleet use exactly those candidates.
@@ -219,7 +219,7 @@ mod tests {
             f.report_checkin(user, home);
         }
         f.finalize_user_window(user);
-        let before = f.edge(0).candidates(user, home).unwrap();
+        let before = f.edge(0).candidates(user, home).unwrap().to_vec();
         // A later window with the same home (centroid drifts slightly).
         for _ in 0..30 {
             f.report_checkin(user, home + Point::new(5.0, -3.0));

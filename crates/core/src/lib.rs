@@ -68,6 +68,7 @@ pub mod protocol;
 mod risk;
 mod server;
 mod system;
+mod user;
 
 pub use concurrent::SharedEdgeDevice;
 pub use risk::{LocationRisk, Recommendation, RiskAssessor, RiskReport};
@@ -75,7 +76,7 @@ pub use server::{EdgeHandle, EdgeServer, TransportError};
 pub use config::{EtaThreshold, SelectionKind, SystemConfig, SystemConfigBuilder};
 pub use edge::{AdDelivery, EdgeDevice};
 pub use error::SystemError;
-pub use filter::filter_ads;
+pub use filter::{filter_ads, filter_ads_by};
 pub use fleet::EdgeFleet;
 pub use management::{frequent_location_set, LocationManager};
 pub use obfuscation::{ObfuscationModule, ObfuscationTable, TableDecodeError};

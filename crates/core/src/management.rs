@@ -130,11 +130,18 @@ impl LocationManager {
     /// meters, if any — the edge's check for "is the user at a protected
     /// top location right now?".
     pub fn matching_top(&self, location: Point, match_radius_m: f64) -> Option<Point> {
-        self.top_set
-            .iter()
-            .map(|e| e.location)
-            .filter(|t| t.distance(location) <= match_radius_m)
-            .min_by(|a, b| a.distance(location).total_cmp(&b.distance(location)))
+        // Serving hot path: one squared distance per entry, no sqrt. The
+        // first strictly-nearest entry wins, matching the old
+        // filter + min_by pass.
+        let radius_sq = match_radius_m * match_radius_m;
+        let mut best: Option<(f64, Point)> = None;
+        for entry in &self.top_set {
+            let d_sq = entry.location.distance_sq(location);
+            if d_sq <= radius_sq && best.is_none_or(|(b, _)| d_sq < b) {
+                best = Some((d_sq, entry.location));
+            }
+        }
+        best.map(|(_, top)| top)
     }
 }
 

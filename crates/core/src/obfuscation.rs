@@ -39,19 +39,32 @@ impl ObfuscationTable {
         self.match_radius_m
     }
 
+    /// Index of the entry covering `location`: the nearest recorded top
+    /// within the match radius.
+    fn position(&self, location: Point) -> Option<usize> {
+        // Serving hot path: one squared distance per entry, no sqrt. The
+        // first strictly-nearest entry wins, matching the old
+        // filter + min_by pass.
+        let radius_sq = self.match_radius_m * self.match_radius_m;
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (top, _)) in self.entries.iter().enumerate() {
+            let d_sq = top.distance_sq(location);
+            if d_sq <= radius_sq && best.is_none_or(|(b, _)| d_sq < b) {
+                best = Some((d_sq, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
     /// Looks up the permanent candidates covering `location`: the nearest
     /// recorded top within the match radius.
     pub fn get(&self, location: Point) -> Option<&[Point]> {
-        self.entries
-            .iter()
-            .filter(|(top, _)| top.distance(location) <= self.match_radius_m)
-            .min_by(|(a, _), (b, _)| a.distance(location).total_cmp(&b.distance(location)))
-            .map(|(_, candidates)| candidates.as_slice())
+        self.position(location).map(|i| self.entries[i].1.as_slice())
     }
 
     /// Returns `true` if `location` is covered by a recorded top location.
     pub fn contains(&self, location: Point) -> bool {
-        self.get(location).is_some()
+        self.position(location).is_some()
     }
 
     /// Records the candidates of a *new* top location.
@@ -64,6 +77,11 @@ impl ObfuscationTable {
         }
         self.entries.push((location, candidates));
         true
+    }
+
+    /// The candidate set at entry `idx` (insertion order).
+    fn candidates_at(&self, idx: usize) -> &[Point] {
+        self.entries[idx].1.as_slice()
     }
 
     /// Number of protected top locations.
@@ -215,12 +233,16 @@ impl ObfuscationModule {
     /// Returns the permanent candidates covering `top`, generating them on
     /// first use.
     pub fn candidates_for(&mut self, top: Point, rng: &mut dyn RngCore) -> &[Point] {
-        if !self.table.contains(top) {
-            let candidates = self.mechanism.obfuscate(top, rng);
-            self.table.insert(top, candidates);
-        }
-        // lint:allow(panic-hygiene): provably infallible — the branch above inserts the key when absent
-        self.table.get(top).expect("covered after insert")
+        // One table scan on the hit path (every request after the first).
+        let idx = match self.table.position(top) {
+            Some(i) => i,
+            None => {
+                let candidates = self.mechanism.obfuscate(top, rng);
+                self.table.insert(top, candidates);
+                self.table.len() - 1
+            }
+        };
+        self.table.candidates_at(idx)
     }
 
     /// Restores the module from a persisted table image (see

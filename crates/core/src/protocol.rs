@@ -174,19 +174,33 @@ impl EdgeResponse {
     /// Encodes the response into its wire frame.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(17);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the wire frame to `buf` without allocating a fresh buffer —
+    /// the batched serving loop encodes a whole wakeup's responses into one
+    /// block and hands each client a [`Bytes::slice`] of it.
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
+        // Each frame is assembled in a stack array and appended with one
+        // `put_slice`: a single length check and copy per response, which
+        // matters at batched-serving rates.
         match *self {
             EdgeResponse::ReportedLocation { location } => {
-                buf.put_u8(TAG_REPORTED);
-                buf.put_f64(location.x);
-                buf.put_f64(location.y);
+                let mut frame = [0u8; 17];
+                frame[0] = TAG_REPORTED;
+                frame[1..9].copy_from_slice(&location.x.to_bits().to_be_bytes());
+                frame[9..17].copy_from_slice(&location.y.to_bits().to_be_bytes());
+                buf.put_slice(&frame);
             }
             EdgeResponse::WindowClosed { fresh_obfuscations } => {
-                buf.put_u8(TAG_WINDOW_CLOSED);
-                buf.put_u32(fresh_obfuscations);
+                let mut frame = [0u8; 5];
+                frame[0] = TAG_WINDOW_CLOSED;
+                frame[1..5].copy_from_slice(&fresh_obfuscations.to_be_bytes());
+                buf.put_slice(&frame);
             }
             EdgeResponse::Ack => buf.put_u8(TAG_ACK),
         }
-        buf.freeze()
     }
 
     /// Decodes a response frame.

@@ -1,5 +1,6 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
+use bytes::Bytes;
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
 
@@ -7,8 +8,9 @@ use crate::protocol::{ClientRequest, EdgeResponse, FrameError};
 use crate::{EdgeDevice, SystemConfig};
 
 /// An encoded request frame paired with the channel its response frame is
-/// sent back on.
-type Envelope = (Vec<u8>, SyncSender<Vec<u8>>);
+/// sent back on. Responses travel as [`Bytes`] so a batched wakeup can
+/// encode every response into one block and send O(1) slices of it.
+type Envelope = (Vec<u8>, SyncSender<Bytes>);
 
 /// A handle for talking to a running [`EdgeServer`] from any thread.
 ///
@@ -63,8 +65,8 @@ impl EdgeHandle {
         self.tx
             .send((request.encode().to_vec(), reply_tx))
             .map_err(|_| TransportError::Disconnected)?;
-        let bytes = reply_rx.recv().map_err(|_| TransportError::Disconnected)?;
-        Ok(EdgeResponse::decode(&bytes)?)
+        let frame = reply_rx.recv().map_err(|_| TransportError::Disconnected)?;
+        Ok(EdgeResponse::decode(&frame)?)
     }
 
     /// Reports a check-in (fire-and-forget semantics at the API level; the
@@ -160,29 +162,60 @@ impl EdgeServer {
 }
 
 fn serve(mut edge: EdgeDevice, rx: Receiver<Envelope>) -> EdgeDevice {
-    while let Ok((frame, reply)) = rx.recv() {
-        let response = match ClientRequest::decode(&frame) {
-            Ok(ClientRequest::CheckIn { user, location, .. }) => {
-                edge.report_checkin(user, location);
-                EdgeResponse::Ack
-            }
-            Ok(ClientRequest::RequestLocation { user, location }) => {
-                EdgeResponse::ReportedLocation {
-                    location: edge.reported_location(user, location),
+    // Scratch reused across wakeups: one blocking recv per batch, then the
+    // queue is drained non-blocking and handed to `EdgeDevice::serve_batch`
+    // in one call, so the per-wakeup cost (and, in the shared-device
+    // deployment shape, the per-lock cost) is amortized over the batch.
+    let mut batch: Vec<Envelope> = Vec::new();
+    let mut requests: Vec<ClientRequest> = Vec::new();
+    let mut responses: Vec<EdgeResponse> = Vec::new();
+    let mut frame_buf: Vec<u8> = Vec::new();
+    let mut offsets: Vec<std::ops::Range<usize>> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while let Ok(next) = rx.try_recv() {
+            batch.push(next);
+        }
+        requests.clear();
+        responses.clear();
+        let mut shutdown_at = None;
+        for (i, (frame, _)) in batch.iter().enumerate() {
+            match ClientRequest::decode(frame) {
+                Ok(ClientRequest::Shutdown) => {
+                    shutdown_at = Some(i);
+                    break;
                 }
+                Ok(request) => requests.push(request),
+                // A malformed frame cannot be answered meaningfully; ack
+                // so the client does not hang, and drop the frame. The
+                // device treats `Shutdown` as exactly that no-op ack —
+                // the transport-level shutdown was intercepted above.
+                Err(_) => requests.push(ClientRequest::Shutdown),
             }
-            Ok(ClientRequest::FinalizeWindow { user }) => EdgeResponse::WindowClosed {
-                fresh_obfuscations: edge.finalize_window(user) as u32,
-            },
-            Ok(ClientRequest::Shutdown) => {
-                let _ = reply.send(EdgeResponse::Ack.encode().to_vec());
-                break;
-            }
-            // A malformed frame cannot be answered meaningfully; ack so
-            // the client does not hang, and drop the frame.
-            Err(_) => EdgeResponse::Ack,
-        };
-        let _ = reply.send(response.encode().to_vec());
+        }
+        edge.serve_batch(&requests, &mut responses);
+        // One encode block per wakeup: every response frame lands in
+        // `frame_buf`, is frozen into a single shared allocation, and each
+        // client gets a zero-copy slice — no per-response allocation.
+        frame_buf.clear();
+        offsets.clear();
+        for response in &responses {
+            let start = frame_buf.len();
+            response.encode_into(&mut frame_buf);
+            offsets.push(start..frame_buf.len());
+        }
+        let block = Bytes::copy_from_slice(&frame_buf);
+        for ((_, reply), range) in batch.iter().zip(offsets.iter().cloned()) {
+            let _ = reply.send(block.slice(range));
+        }
+        if let Some(i) = shutdown_at {
+            // Ack the shutdown itself; envelopes queued behind it are
+            // dropped, so their clients observe a disconnect — the same
+            // outcome as racing a shutdown in the unbatched loop.
+            let _ = batch[i].1.send(EdgeResponse::Ack.encode());
+            break;
+        }
     }
     edge
 }

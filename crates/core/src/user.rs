@@ -1,0 +1,244 @@
+//! Per-user serving state shared by [`crate::EdgeDevice`] (single-threaded)
+//! and [`crate::SharedEdgeDevice`] (slot-locked concurrent): the location
+//! manager, the permanent obfuscation table, and the posterior-weight
+//! selection cache.
+//!
+//! Keeping one implementation of the request hot path here guarantees the
+//! two devices stay behaviorally identical: given the same RNG stream they
+//! produce the same reported locations bit-for-bit.
+
+use privlocad_geo::Point;
+use privlocad_mechanisms::{
+    PlanarLaplace, PosteriorSelector, PosteriorTable, SelectionCache, SelectionStrategy,
+    UniformSelector,
+};
+use privlocad_mobility::UserId;
+use rand::RngCore;
+
+use crate::{LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
+
+/// A user-keyed directory backed by parallel sorted vectors: binary search
+/// over a dense `UserId` array beats a `BTreeMap` walk on the per-request
+/// serving path, and iteration stays in ascending user order (the same
+/// deterministic order the old tree map gave).
+///
+/// Keys live apart from the (large) slots so every probe of the search
+/// touches the same few cache lines instead of striding across full user
+/// states.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UserMap<S> {
+    keys: Vec<UserId>,
+    slots: Vec<S>,
+    /// Dense raw-id → slot + 1 fast path (0 = absent). Edge deployments
+    /// hand out small sequential user ids, so the common lookup is one
+    /// bounds-checked load; sparse ids past [`DENSE_INDEX_CAP`] simply
+    /// fall back to the binary search.
+    index: Vec<u32>,
+}
+
+/// Largest raw user id kept in the dense lookup index (4 MiB worst case).
+const DENSE_INDEX_CAP: usize = 1 << 20;
+
+impl<S> UserMap<S> {
+    pub(crate) fn new() -> Self {
+        UserMap { keys: Vec::new(), slots: Vec::new(), index: Vec::new() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn position(&self, user: UserId) -> Result<usize, usize> {
+        let raw = user.raw() as usize;
+        if raw < self.index.len() {
+            let slot = self.index[raw];
+            if slot != 0 {
+                return Ok((slot - 1) as usize);
+            }
+        }
+        self.keys.binary_search(&user)
+    }
+
+    pub(crate) fn get(&self, user: UserId) -> Option<&S> {
+        self.position(user).ok().map(|i| &self.slots[i])
+    }
+
+    pub(crate) fn get_mut(&mut self, user: UserId) -> Option<&mut S> {
+        self.position(user).ok().map(|i| &mut self.slots[i])
+    }
+
+    /// The user's slot, created with `init` on first sight.
+    pub(crate) fn entry_or_insert_with(
+        &mut self,
+        user: UserId,
+        init: impl FnOnce() -> S,
+    ) -> &mut S {
+        let idx = match self.position(user) {
+            Ok(i) => i,
+            Err(i) => {
+                self.keys.insert(i, user);
+                self.slots.insert(i, init());
+                let raw = user.raw() as usize;
+                if raw < DENSE_INDEX_CAP && self.index.len() <= raw {
+                    self.index.resize(raw + 1, 0);
+                }
+                // The insert shifted every later slot by one; re-point the
+                // dense index for the tail (inserts happen once per user).
+                for (pos, key) in self.keys.iter().enumerate().skip(i) {
+                    let r = key.raw() as usize;
+                    if r < self.index.len() {
+                        self.index[r] = (pos + 1) as u32;
+                    }
+                }
+                i
+            }
+        };
+        &mut self.slots[idx]
+    }
+
+    /// All known users, ascending.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// All slots, in ascending user order.
+    pub(crate) fn values(&self) -> impl Iterator<Item = &S> {
+        self.slots.iter()
+    }
+
+    /// All slots mutably, in ascending user order.
+    pub(crate) fn values_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        self.slots.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod usermap_tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_ids_stay_consistent_across_inserts() {
+        let mut map: UserMap<u64> = UserMap::new();
+        // Out-of-order inserts, including an id past the dense-index cap.
+        for raw in [7u32, 3, u32::MAX, 5, 0, 1 << 21] {
+            let slot = map.entry_or_insert_with(UserId::new(raw), || u64::from(raw));
+            assert_eq!(*slot, u64::from(raw));
+        }
+        assert_eq!(map.len(), 6);
+        for raw in [0u32, 3, 5, 7, 1 << 21, u32::MAX] {
+            assert_eq!(map.get(UserId::new(raw)), Some(&u64::from(raw)), "raw {raw}");
+            *map.get_mut(UserId::new(raw)).unwrap() += 1;
+        }
+        assert_eq!(map.get(UserId::new(2)), None);
+        assert_eq!(map.get(UserId::new(8)), None);
+        // Iteration is ascending by user id regardless of insert order.
+        let keys: Vec<u32> = map.keys().map(|u| u.raw()).collect();
+        assert_eq!(keys, vec![0, 3, 5, 7, 1 << 21, u32::MAX]);
+        let values: Vec<u64> = map.values().copied().collect();
+        assert_eq!(values, vec![1, 4, 6, 8, (1 << 21) + 1, u64::from(u32::MAX) + 1]);
+        for v in map.values_mut() {
+            *v = 0;
+        }
+        assert!(map.values().all(|&v| v == 0));
+    }
+}
+
+/// One user's state on an edge device.
+#[derive(Debug, Clone)]
+pub(crate) struct UserState {
+    pub(crate) manager: LocationManager,
+    pub(crate) obfuscation: ObfuscationModule,
+    /// Posterior-weight cache keyed by top location. Pure post-processing
+    /// acceleration: entries are derived from the permanent candidate
+    /// sets, so the cache never changes outputs — only cost.
+    pub(crate) selection: SelectionCache,
+}
+
+impl UserState {
+    pub(crate) fn new(config: &SystemConfig) -> Self {
+        UserState {
+            manager: LocationManager::new(config.profile_theta_m(), config.eta()),
+            obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
+            selection: SelectionCache::new(),
+        }
+    }
+
+    /// Split-borrow accessor for the posterior hot path: the permanent
+    /// candidates covering `top` (generated on first use, spending the
+    /// one-and-only budget) plus their cached cumulative weight table
+    /// (built on first use, free post-processing).
+    fn posterior_ctx(
+        &mut self,
+        top: Point,
+        rng: &mut dyn RngCore,
+    ) -> (&[Point], &PosteriorTable) {
+        let selector = PosteriorSelector::new(self.obfuscation.mechanism().sigma());
+        let candidates = self.obfuscation.candidates_for(top, rng);
+        let table = self.selection.table_for(top, &selector, candidates);
+        (candidates, table)
+    }
+
+    /// The serving hot path: a posterior- (or uniform-) selected permanent
+    /// candidate when `current_true` is at a protected top location, a
+    /// fresh one-time planar-Laplace sample otherwise.
+    ///
+    /// Allocation-free after the first request per top location.
+    ///
+    /// Generic over the RNG so a concrete generator inlines into the
+    /// cached draw; pass `&mut &mut dyn RngCore` from type-erased callers.
+    pub(crate) fn reported_location<R: RngCore>(
+        &mut self,
+        config: &SystemConfig,
+        nomadic: &PlanarLaplace,
+        current_true: Point,
+        rng: &mut R,
+    ) -> Point {
+        match self.manager.matching_top(current_true, config.top_match_radius_m()) {
+            Some(top) => match config.selection() {
+                SelectionKind::Posterior => {
+                    let (candidates, table) = self.posterior_ctx(top, rng);
+                    candidates[table.draw(rng)]
+                }
+                SelectionKind::Uniform => {
+                    let candidates = self.obfuscation.candidates_for(top, rng);
+                    candidates[UniformSelector::new().select(candidates, rng)]
+                }
+            },
+            None => nomadic.sample(current_true, rng),
+        }
+    }
+
+    /// Closes the profile window, invalidates the selection cache (the
+    /// top set — the cache keys — may drift), obfuscates any new top
+    /// locations, and pre-warms the cache for the new top set. Returns
+    /// the number of freshly obfuscated top locations.
+    pub(crate) fn finalize_window(
+        &mut self,
+        config: &SystemConfig,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let tops: Vec<Point> =
+            self.manager.finalize_window().iter().map(|e| e.location).collect();
+        self.selection.invalidate();
+        let fresh = self.obfuscation.obfuscate_top_set(&tops, rng);
+        self.warm_selection(config);
+        fresh
+    }
+
+    /// Precomputes the posterior table of every currently protected top
+    /// location, so the first ad request after a window close already
+    /// serves from cache. No RNG is consumed — the tables are pure
+    /// functions of the permanent candidates.
+    pub(crate) fn warm_selection(&mut self, config: &SystemConfig) {
+        if config.selection() != SelectionKind::Posterior {
+            return;
+        }
+        let selector = PosteriorSelector::new(self.obfuscation.mechanism().sigma());
+        for entry in self.manager.top_set() {
+            let top = entry.location;
+            if let Some(candidates) = self.obfuscation.table().get(top) {
+                self.selection.table_for(top, &selector, candidates);
+            }
+        }
+    }
+}

@@ -204,6 +204,61 @@ impl Parser {
     }
 }
 
+/// Renders a [`Json`] value back to compact JSON text.
+///
+/// Object keys come out sorted (they are stored in a `BTreeMap`), so the
+/// output is deterministic; numbers use Rust's shortest-roundtrip `f64`
+/// formatting, with integral values printed without a fractional part.
+/// `parse(&render(v))` reproduces `v` exactly.
+pub fn render(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&escape(key));
+                out.push_str("\": ");
+                render_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Escapes a string for embedding in emitted JSON.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -242,12 +297,46 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
         return Err("`runs` is empty".to_owned());
     }
     for (i, run) in runs.iter().enumerate() {
-        run.get("name")
+        let name = run
+            .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("runs[{i}] missing string key `name`"))?;
         run.get("wall_ms")
             .and_then(Json::as_num)
             .ok_or(format!("runs[{i}] missing numeric key `wall_ms`"))?;
+        validate_serve_row(i, name, run)?;
+    }
+    Ok(())
+}
+
+/// Validates the serving-benchmark rows appended by `bench serve`: any run
+/// named `serve/...` — and, symmetrically, any run that claims a
+/// `requests_per_sec` figure — must carry the full serving triple
+/// (`requests_per_sec` > 0, integral `batch` ≥ 1, integral `threads` ≥ 1),
+/// so throughput numbers are never reported without the batch shape and
+/// parallelism that produced them.
+fn validate_serve_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    let is_serve = name == "serve" || name.starts_with("serve/");
+    let has_rps = run.get("requests_per_sec").is_some();
+    if !is_serve && !has_rps {
+        return Ok(());
+    }
+    let rps = run
+        .get("requests_per_sec")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `requests_per_sec`"))?;
+    if !rps.is_finite() || rps <= 0.0 {
+        return Err(format!("runs[{i}] (`{name}`) has non-positive `requests_per_sec` {rps}"));
+    }
+    for key in ["batch", "threads"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 1.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
+        }
     }
     Ok(())
 }
@@ -279,6 +368,54 @@ mod tests {
         let doc = format!(r#"{{"k": "{}"}}"#, escape(original));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let doc = parse(
+            r#"{"experiment": "serve", "seed": 0, "nested": {"a": [1, 2.5, -3, true, null, "s\n"]},
+                "big": 1e300, "neg": -0.125}"#,
+        )
+        .unwrap();
+        let rendered = render(&doc);
+        assert_eq!(parse(&rendered).unwrap(), doc);
+        // Integral values render without a fractional part.
+        assert!(rendered.contains("\"seed\": 0"));
+        assert!(rendered.contains("2.5"));
+    }
+
+    #[test]
+    fn serve_rows_require_the_full_serving_triple() {
+        let report = |row: &str| {
+            format!(r#"{{"experiment": "serve", "seed": 0, "threads": 1, "runs": [{row}]}}"#)
+        };
+        let good = report(
+            r#"{"name": "serve/batched", "wall_ms": 10.0,
+                "requests_per_sec": 1.5e6, "batch": 64, "threads": 2}"#,
+        );
+        assert!(validate_bench_report(&good).is_ok());
+        // Non-serve rows without throughput claims stay valid.
+        let plain = report(r#"{"name": "fig9", "wall_ms": 82.3}"#);
+        assert!(validate_bench_report(&plain).is_ok());
+        // A serve row missing its triple is rejected...
+        let missing = report(r#"{"name": "serve/batched", "wall_ms": 10.0}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("requests_per_sec"));
+        let no_batch =
+            report(r#"{"name": "serve/x", "wall_ms": 1.0, "requests_per_sec": 10.0, "threads": 1}"#);
+        assert!(validate_bench_report(&no_batch).unwrap_err().contains("batch"));
+        // ...as are nonsense values.
+        let zero_rps = report(
+            r#"{"name": "serve/x", "wall_ms": 1.0, "requests_per_sec": 0, "batch": 1, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&zero_rps).is_err());
+        let frac_batch = report(
+            r#"{"name": "serve/x", "wall_ms": 1.0, "requests_per_sec": 5.0, "batch": 1.5, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&frac_batch).is_err());
+        // Any row claiming requests_per_sec needs the shape, serve-named or not.
+        let sneaky =
+            report(r#"{"name": "other", "wall_ms": 1.0, "requests_per_sec": 5.0}"#);
+        assert!(validate_bench_report(&sneaky).is_err());
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! `--bench-json` schema checks against checked-in fixtures: the serving
+//! rows appended by `bench serve` must carry the full throughput triple
+//! (`requests_per_sec`, `batch`, `threads`), and the validator must reject
+//! reports that claim throughput without it.
+
+use privlocad_lint::json::{parse, render, validate_bench_report};
+
+const OK: &str = include_str!("fixtures/bench_serve_ok.json");
+const BAD: &str = include_str!("fixtures/bench_serve_bad.json");
+
+#[test]
+fn serve_fixture_with_full_triple_passes() {
+    validate_bench_report(OK).expect("ok fixture must validate");
+}
+
+#[test]
+fn serve_fixture_missing_batch_and_threads_fails() {
+    let err = validate_bench_report(BAD).unwrap_err();
+    assert!(err.contains("serve/batched_cached/64"), "{err}");
+    assert!(err.contains("batch") || err.contains("threads"), "{err}");
+}
+
+#[test]
+fn fixtures_survive_a_parse_render_parse_cycle() {
+    // `bench serve` appends rows by parsing the existing report, pushing
+    // onto `runs`, and re-rendering — so render output must itself be a
+    // valid report.
+    let doc = parse(OK).unwrap();
+    let rendered = render(&doc);
+    assert_eq!(parse(&rendered).unwrap(), doc);
+    validate_bench_report(&rendered).expect("rendered report must still validate");
+}

@@ -57,5 +57,7 @@ pub use error::MechanismError;
 pub use gaussian::NFoldGaussian;
 pub use params::{GeoIndParams, PlanarLaplaceParams};
 pub use planar_laplace::{DiscretePlanarLaplace, PlanarLaplace};
-pub use selection::{PosteriorSelector, SelectionStrategy, UniformSelector};
+pub use selection::{
+    PosteriorSelector, PosteriorTable, SelectionCache, SelectionStrategy, UniformSelector,
+};
 pub use traits::Lppm;

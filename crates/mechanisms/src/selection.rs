@@ -140,6 +140,13 @@ impl PosteriorSelector {
     }
 
     /// One inverse-CDF draw over the unnormalized weights.
+    ///
+    /// The draw accumulates the weights into a running prefix sum and
+    /// returns the first index whose prefix reaches `u` — the *same*
+    /// arithmetic, in the same order, as [`PosteriorTable::new`] uses to
+    /// fill its cumulative table, so this from-scratch path and the
+    /// cached [`PosteriorTable::draw`] map every RNG value to the same
+    /// index bit-for-bit.
     fn draw(
         &self,
         candidates: &[Point],
@@ -149,14 +156,25 @@ impl PosteriorSelector {
         rng: &mut dyn RngCore,
     ) -> usize {
         let two_sigma_sq = 2.0 * self.sigma * self.sigma;
-        let mut u: f64 = rng.gen::<f64>() * total;
+        let u: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
         for (i, q) in candidates.iter().enumerate() {
-            u -= (-q.distance_sq(mean) / two_sigma_sq - max).exp();
-            if u <= 0.0 {
+            acc += (-q.distance_sq(mean) / two_sigma_sq - max).exp();
+            if u <= acc {
                 return i;
             }
         }
         candidates.len() - 1
+    }
+
+    /// Precomputes the cumulative weight table over `candidates` for
+    /// repeated draws — see [`PosteriorTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn table(&self, candidates: &[Point]) -> PosteriorTable {
+        PosteriorTable::new(self, candidates)
     }
 }
 
@@ -173,15 +191,194 @@ impl SelectionStrategy for PosteriorSelector {
         rng: &mut dyn RngCore,
         out: &mut Vec<usize>,
     ) {
-        let (mean, max, total) = self.weight_stats(candidates);
-        out.reserve(count);
-        for _ in 0..count {
-            out.push(self.draw(candidates, mean, max, total, rng));
-        }
+        // One cumulative table per batch: draws become binary searches and
+        // stay bit-for-bit identical to repeated `select` calls.
+        let table = PosteriorTable::new(self, candidates);
+        table.draw_batch(count, rng, out);
     }
 
     fn name(&self) -> &str {
         "posterior"
+    }
+}
+
+/// A precomputed inverse-CDF table for posterior selection over one
+/// *permanent* candidate set (the serving-path cache of Algorithm 4).
+///
+/// The paper's key design point is that a top location's `n` candidates
+/// never change after their one-and-only release, and output selection is
+/// pure post-processing — so the per-candidate `exp()` posterior weights
+/// can be computed once and reused for every subsequent ad request at
+/// zero privacy cost. A cached draw is one uniform variate plus a binary
+/// search over the cumulative weights instead of a centroid pass and `n`
+/// exponentials.
+///
+/// Determinism contract: [`PosteriorTable::draw`] consumes exactly one
+/// `rng.gen::<f64>()` and maps it to the same index as
+/// [`PosteriorSelector::select`] over the same candidates, bit-for-bit —
+/// both build the identical prefix-sum sequence in the identical order.
+///
+/// # Examples
+///
+/// ```
+/// use privlocad_geo::{rng::seeded, Point};
+/// use privlocad_mechanisms::{PosteriorSelector, PosteriorTable, SelectionStrategy};
+///
+/// let sel = PosteriorSelector::new(500.0);
+/// let candidates = [Point::new(0.0, 0.0), Point::new(400.0, 0.0), Point::new(0.0, 900.0)];
+/// let table = sel.table(&candidates);
+/// for seed in 0..16 {
+///     let cached = table.draw(&mut seeded(seed));
+///     let fresh = sel.select(&candidates, &mut seeded(seed));
+///     assert_eq!(cached, fresh);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PosteriorTable {
+    cdf: Vec<f64>,
+}
+
+impl PosteriorTable {
+    /// Builds the cumulative table for `candidates` under `selector`'s σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn new(selector: &PosteriorSelector, candidates: &[Point]) -> Self {
+        let (mean, max, _total) = selector.weight_stats(candidates);
+        let two_sigma_sq = 2.0 * selector.sigma * selector.sigma;
+        let mut acc = 0.0;
+        let cdf = candidates
+            .iter()
+            .map(|q| {
+                acc += (-q.distance_sq(mean) / two_sigma_sq - max).exp();
+                acc
+            })
+            .collect();
+        PosteriorTable { cdf }
+    }
+
+    /// Number of candidates the table covers.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` for a table over zero candidates (never
+    /// constructible via [`PosteriorTable::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// One cached draw: a single uniform variate, then a binary search
+    /// over the cumulative weights.
+    ///
+    /// Generic over the RNG (rather than `dyn`) so the serving hot path
+    /// inlines the generator's `next_u64`; `&mut dyn RngCore` still works
+    /// through the blanket `RngCore for &mut R` impl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn draw<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.cdf[self.cdf.len() - 1];
+        let u: f64 = rng.gen::<f64>() * total;
+        // First index whose cumulative weight reaches u — the same
+        // predicate the from-scratch linear scan evaluates. On a sorted
+        // prefix-sum table that index equals the count of entries below
+        // `u`, so small tables (the paper's n ≈ 10) use a branchless
+        // count; both branches return identical indices.
+        let idx = if self.cdf.len() <= 64 {
+            self.cdf.iter().map(|&c| usize::from(c < u)).sum::<usize>()
+        } else {
+            self.cdf.partition_point(|&c| c < u)
+        };
+        idx.min(self.cdf.len() - 1)
+    }
+
+    /// Draws `count` independent cached selections, appending the chosen
+    /// indices to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn draw_batch<R: RngCore + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) {
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.draw(rng));
+        }
+    }
+}
+
+/// A per-user memo of [`PosteriorTable`]s keyed by top location — the
+/// edge device's posterior-weight cache.
+///
+/// Entries are built once per `(top location, candidate set)` pair —
+/// either eagerly when protection is installed or lazily on the first ad
+/// request — and reused for every later request at that top.
+/// [`SelectionCache::invalidate`] drops everything; because the tables
+/// are pure post-processing state derived from permanent candidates,
+/// invalidation can never change outputs, only cost.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelectionCache {
+    entries: Vec<(Point, PosteriorTable)>,
+}
+
+impl SelectionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SelectionCache::default()
+    }
+
+    /// Number of cached top locations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached table (e.g. when a profile window closes and
+    /// the top set — the cache keys — may drift).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The cached table for `top`, if one was built.
+    pub fn get(&self, top: Point) -> Option<&PosteriorTable> {
+        self.entries.iter().find(|(t, _)| *t == top).map(|(_, table)| table)
+    }
+
+    /// The table for `top`, building and memoizing it from `candidates`
+    /// on first use.
+    ///
+    /// Keys match by exact coordinates (cache identity, not geometry):
+    /// `top` always comes from the user's current top set, and a drifted
+    /// centroid simply builds a fresh entry over the same permanent
+    /// candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new entry must be built from empty `candidates`.
+    pub fn table_for(
+        &mut self,
+        top: Point,
+        selector: &PosteriorSelector,
+        candidates: &[Point],
+    ) -> &PosteriorTable {
+        match self.entries.iter().position(|(t, _)| *t == top) {
+            Some(i) => &self.entries[i].1,
+            None => {
+                self.entries.push((top, PosteriorTable::new(selector, candidates)));
+                &self.entries[self.entries.len() - 1].1
+            }
+        }
     }
 }
 
@@ -346,6 +543,88 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], 0.25);
         assert!((out[1] + out[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_table_matches_uncached_select_stream() {
+        // The determinism contract: over long RNG streams the cached
+        // binary-search draw and the from-scratch linear scan pick the
+        // same index every single time.
+        let sel = PosteriorSelector::new(500.0);
+        let sets: Vec<Vec<Point>> = vec![
+            vec![Point::ORIGIN],
+            vec![Point::new(-100.0, 0.0), Point::new(100.0, 0.0)],
+            vec![Point::new(0.0, 0.0), Point::new(400.0, 0.0), Point::new(0.0, 900.0)],
+            (0..50).map(|i| Point::new(f64::from(i) * 37.0, f64::from(i % 7) * 91.0)).collect(),
+        ];
+        for (k, cands) in sets.iter().enumerate() {
+            let table = sel.table(cands);
+            assert_eq!(table.len(), cands.len());
+            assert!(!table.is_empty());
+            let mut cached_rng = seeded(1_000 + k as u64);
+            let mut fresh_rng = seeded(1_000 + k as u64);
+            for step in 0..5_000 {
+                let cached = table.draw(&mut cached_rng);
+                let fresh = sel.select(cands, &mut fresh_rng);
+                assert_eq!(cached, fresh, "set {k} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_draw_batch_matches_select_batch() {
+        let sel = PosteriorSelector::new(400.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(300.0, 0.0), Point::new(0.0, 600.0)];
+        let table = sel.table(&cands);
+        let mut a = Vec::new();
+        table.draw_batch(500, &mut seeded(5), &mut a);
+        let mut b = Vec::new();
+        sel.select_batch(&cands, 500, &mut seeded(5), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selection_cache_memoizes_and_invalidates() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let top = Point::new(10.0, 10.0);
+        let mut cache = SelectionCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(top).is_none());
+        let built = cache.table_for(top, &sel, &cands).clone();
+        assert_eq!(cache.len(), 1);
+        // Second lookup returns the memoized table without rebuilding
+        // (pass empty candidates: a rebuild would panic).
+        let again = cache.table_for(top, &sel, &[]).clone();
+        assert_eq!(built, again);
+        assert_eq!(cache.get(top), Some(&built));
+        // A different key builds its own entry.
+        cache.table_for(Point::new(9_000.0, 0.0), &sel, &cands);
+        assert_eq!(cache.len(), 2);
+        cache.invalidate();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_draws_follow_the_posterior_distribution() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 0.0),
+            Point::new(0.0, 900.0),
+        ];
+        let probs = sel.probabilities(&cands);
+        let table = sel.table(&cands);
+        let mut rng = seeded(44);
+        let trials = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[table.draw(&mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - probs[i]).abs() < 0.01, "i={i} freq={freq} prob={}", probs[i]);
+        }
     }
 
     #[test]

@@ -25,4 +25,19 @@ trap 'rm -rf "$smoke_dir"' EXIT
 grep -q '"experiment": "all"' "$smoke_dir/BENCH_smoke.json"
 grep -q 'all configurations hold' "$smoke_dir/repro_all.out"
 
+echo "==> bench serve (smoke, reduced sizes)"
+# Shape/consistency only — no wall-clock thresholds: the CI container is a
+# shared single core, so absolute throughput (and even the speedup ratio at
+# these tiny sizes) is not meaningful here. The real numbers live in
+# BENCH_repro.json, regenerated at full size on a quiet host.
+./target/release/serve \
+    --users 8 --requests 1024 --batch 16 --threads 2 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_serve.json" >"$smoke_dir/serve.out"
+./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_serve.json"
+grep -q 'serve/legacy_single' "$smoke_dir/BENCH_serve.json"
+grep -q 'serve/batched_cached/16' "$smoke_dir/BENCH_serve.json"
+grep -q 'serve/shared_batched/16x2' "$smoke_dir/BENCH_serve.json"
+grep -q 'requests_per_sec' "$smoke_dir/BENCH_serve.json"
+grep -q 'batched+cached vs legacy single-request path' "$smoke_dir/serve.out"
+
 echo "OK"
