@@ -74,6 +74,18 @@ impl LocationProfile {
         LocationProfile { entries, total }
     }
 
+    /// Rebuilds a profile from entries already in their recorded order,
+    /// preserving that order exactly — the checkpoint-restore counterpart
+    /// of [`LocationProfile::from_entries`], which re-sorts. A restored
+    /// profile must compare equal to the one that was serialized, and
+    /// `from_checkins` emits entries in cluster order, not necessarily
+    /// frequency order.
+    pub fn from_ordered_entries<I: IntoIterator<Item = ProfileEntry>>(entries: I) -> Self {
+        let entries: Vec<ProfileEntry> = entries.into_iter().collect();
+        let total = entries.iter().map(|e| e.frequency).sum();
+        LocationProfile { entries, total }
+    }
+
     /// The profile entries, ordered by decreasing frequency.
     pub fn entries(&self) -> &[ProfileEntry] {
         &self.entries

@@ -1,0 +1,210 @@
+//! The chaos-harness driver: seeded fault injection over the supervised
+//! serving path, with results appended to the benchmark log.
+//!
+//! ```text
+//! Usage: chaos [options]
+//!
+//! Options:
+//!   --users N        fleet size (default 8)
+//!   --checkins N     check-ins per user before its window close (default 12)
+//!   --requests N     ad requests per user after its window close (default 16)
+//!   --kills N        injected worker crashes per shard (default 3)
+//!   --corruptions N  corrupted frames injected per shard (default 8)
+//!   --seed N         master seed (default 0)
+//!   --threads N      upper shard count; scenarios run at 1 and N (default 2)
+//!   --bench-json F   benchmark log to append chaos rows to
+//!                    (default BENCH_repro.json in the working directory)
+//! ```
+//!
+//! The chaos rows are appended to the existing benchmark log (replacing
+//! any earlier `chaos/...` rows, so reruns never accumulate), and the
+//! merged document is re-validated with the same schema check that
+//! `privlocad-lint --bench-json` applies in CI. The harness itself
+//! asserts the survival contract — byte-identical outputs versus the
+//! fault-free run, zero candidate re-draws — so a successful exit *is*
+//! the robustness check; the log rows record how much abuse it took.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privlocad_bench::chaos::{self, ChaosRow, Config};
+use privlocad_lint::json::{parse, render, validate_bench_report, Json};
+
+#[derive(Debug, Clone)]
+struct Options {
+    config: Config,
+    bench_json: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: chaos [--users N] [--checkins N] [--requests N] [--kills N] [--corruptions N] \
+     [--seed N] [--threads N] [--bench-json FILE]"
+}
+
+fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} {v}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { config: Config::default(), bench_json: PathBuf::from("BENCH_repro.json") };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => opts.config.users = num(&mut it, "--users")?.max(1),
+            "--checkins" => opts.config.checkins = num(&mut it, "--checkins")?.max(1),
+            "--requests" => opts.config.requests = num(&mut it, "--requests")?.max(1),
+            "--kills" => opts.config.kills = num(&mut it, "--kills")?,
+            "--corruptions" => opts.config.corruptions = num(&mut it, "--corruptions")?,
+            "--seed" => opts.config.seed = num(&mut it, "--seed")? as u64,
+            "--threads" => opts.config.threads = num(&mut it, "--threads")?.max(1),
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn row_to_json(row: &ChaosRow) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Json::Str(row.name.clone()));
+    obj.insert("wall_ms".to_owned(), Json::Num(row.wall_ms));
+    obj.insert("faults_injected".to_owned(), Json::Num(row.faults_injected as f64));
+    obj.insert("requests_survived".to_owned(), Json::Num(row.requests_survived as f64));
+    obj.insert("restarts".to_owned(), Json::Num(row.restarts as f64));
+    obj.insert("recovery_ns".to_owned(), Json::Num(row.recovery_ns));
+    obj.insert("threads".to_owned(), Json::Num(row.threads as f64));
+    Json::Obj(obj)
+}
+
+/// Loads the benchmark log (or starts a fresh one), drops any stale
+/// `chaos/...` rows, appends the new rows, and returns the merged document.
+fn merge_log(existing: Option<&str>, opts: &Options, rows: &[ChaosRow]) -> Result<Json, String> {
+    let mut doc = match existing {
+        Some(text) => parse(text)?,
+        None => {
+            let mut obj = BTreeMap::new();
+            obj.insert("experiment".to_owned(), Json::Str("chaos".to_owned()));
+            obj.insert("seed".to_owned(), Json::Num(opts.config.seed as f64));
+            obj.insert("threads".to_owned(), Json::Num(opts.config.threads as f64));
+            obj.insert("runs".to_owned(), Json::Arr(Vec::new()));
+            Json::Obj(obj)
+        }
+    };
+    let Json::Obj(obj) = &mut doc else {
+        return Err("benchmark log root is not an object".to_owned());
+    };
+    let Some(Json::Arr(runs)) = obj.get_mut("runs") else {
+        return Err("benchmark log has no `runs` array".to_owned());
+    };
+    runs.retain(|run| {
+        !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("chaos/"))
+    });
+    runs.extend(rows.iter().map(row_to_json));
+    Ok(doc)
+}
+
+fn write_log(opts: &Options, rows: &[ChaosRow]) -> Result<(), String> {
+    let existing = std::fs::read_to_string(&opts.bench_json).ok();
+    let doc = merge_log(existing.as_deref(), opts, rows)?;
+    let text = render(&doc);
+    validate_bench_report(&text)?;
+    std::fs::write(&opts.bench_json, &text)
+        .map_err(|e| format!("cannot write {}: {e}", opts.bench_json.display()))?;
+    println!("[bench] wrote {}", opts.bench_json.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = chaos::run(&opts.config);
+    print!("{}", out.table().render());
+    let survived: u64 = out.rows.iter().map(|r| r.requests_survived).sum();
+    let faults: u64 = out.rows.iter().map(|r| r.faults_injected).sum();
+    println!(
+        "\nsurvival contract held: {survived} requests served correctly under \
+         {faults} injected faults, zero candidate re-draws"
+    );
+    if let Err(e) = write_log(&opts, &out.rows) {
+        eprintln!("[bench] {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn row(name: &str) -> ChaosRow {
+        ChaosRow {
+            name: name.to_owned(),
+            wall_ms: 12.5,
+            faults_injected: 9,
+            requests_survived: 232,
+            restarts: 3,
+            recovery_ns: 18_400.0,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!((o.config.users, o.config.kills, o.config.corruptions), (8, 3, 8));
+        assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
+        let o = parse_args(&args(
+            "--users 4 --checkins 6 --requests 5 --kills 2 --corruptions 3 --seed 9 \
+             --threads 3 --bench-json c.json",
+        ))
+        .unwrap();
+        assert_eq!((o.config.users, o.config.checkins, o.config.requests), (4, 6, 5));
+        assert_eq!((o.config.kills, o.config.corruptions), (2, 3));
+        assert_eq!((o.config.seed, o.config.threads), (9, 3));
+        assert_eq!(o.bench_json, PathBuf::from("c.json"));
+        assert!(parse_args(&args("--wat")).unwrap_err().contains("unknown option"));
+        assert!(parse_args(&args("--kills x")).unwrap_err().contains("bad --kills"));
+    }
+
+    #[test]
+    fn merge_replaces_stale_chaos_rows_and_validates() {
+        let opts = parse_args(&[]).unwrap();
+        let existing = r#"{"experiment": "all", "seed": 0, "threads": 2, "runs": [
+            {"name": "fig9", "wall_ms": 80.0, "threads": 2},
+            {"name": "chaos/flood/2", "wall_ms": 1.0, "faults_injected": 4,
+             "requests_survived": 100, "restarts": 0, "recovery_ns": 0, "threads": 2}
+        ]}"#;
+        let doc = merge_log(Some(existing), &opts, &[row("chaos/worker_kill/2")]).unwrap();
+        let runs = match doc.get("runs") {
+            Some(Json::Arr(runs)) => runs,
+            other => panic!("runs missing: {other:?}"),
+        };
+        let names: Vec<_> =
+            runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, ["fig9", "chaos/worker_kill/2"]);
+        validate_bench_report(&render(&doc)).expect("merged log must validate");
+    }
+
+    #[test]
+    fn fresh_log_carries_the_required_header() {
+        let opts = parse_args(&args("--seed 5 --threads 3")).unwrap();
+        let doc = merge_log(None, &opts, &[row("chaos/corruption/1")]).unwrap();
+        validate_bench_report(&render(&doc)).expect("fresh log must validate");
+    }
+}

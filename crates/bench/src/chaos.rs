@@ -1,0 +1,553 @@
+//! The `bench chaos` harness: seeded fault schedules driven through the
+//! supervised [`EdgeServer`] serving path, with the surviving outputs
+//! checked bit-for-bit against a fault-free run.
+//!
+//! Four fault families, each run at every shard count (1 and `threads`
+//! serving loops, users partitioned round-robin across them):
+//!
+//! 1. `chaos/corruption/{T}` — seeded malformed frames (truncations, tag
+//!    bit flips, trailing garbage) interleaved with the valid workload,
+//!    plus one vandal client driven past the consecutive-malformed limit
+//!    to exercise the ban path.
+//! 2. `chaos/worker_kill/{T}` — seeded worker crashes at random request
+//!    ordinals; every crash is caught by the supervisor, the device is
+//!    restored from its last committed checkpoint, and the interrupted
+//!    batch is retried.
+//! 3. `chaos/mid_window_restart/{T}` — crashes placed *inside* open
+//!    profile windows (between check-ins, before the window close), the
+//!    schedule most likely to tempt an implementation into re-drawing
+//!    candidates.
+//! 4. `chaos/flood/{T}` — a tiny request queue under a concurrent client
+//!    burst; requests are either served or shed with a structured
+//!    [`TransportError::Overloaded`], never hung.
+//!
+//! For the three replayable families the harness replays the exact valid
+//! request stream against a fresh fault-free server with the same seed
+//! and asserts (a) every surviving response frame is byte-identical, (b)
+//! the final device snapshots are byte-identical, and (c)
+//! [`candidate_redraws`] between the two final snapshots is **zero** — a
+//! crash never re-draws a released candidate set, which is the privacy
+//! property the recovery log exists to protect (DESIGN.md §12).
+
+use std::sync::Once;
+use std::time::Instant;
+
+use privlocad::protocol::{ClientRequest, EdgeResponse};
+use privlocad::{
+    candidate_redraws, DeviceSnapshot, EdgeDevice, EdgeHandle, EdgeServer, FaultPlan,
+    RetryPolicy, ServerOptions, SystemConfig, TransportError,
+};
+use privlocad_geo::rng::{derive_seed, seeded};
+use privlocad_geo::Point;
+use privlocad_mobility::UserId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::report::Table;
+
+/// Chaos-harness parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fleet size, partitioned round-robin across the shard servers.
+    pub users: usize,
+    /// Check-ins per user before its window close.
+    pub checkins: usize,
+    /// Ad requests per user after its window close.
+    pub requests: usize,
+    /// Injected worker crashes per shard in the kill scenarios.
+    pub kills: usize,
+    /// Corrupted frames injected per shard in the corruption scenario.
+    pub corruptions: usize,
+    /// Master seed; every schedule and device RNG is derived from it.
+    pub seed: u64,
+    /// Upper shard count; scenarios run at 1 and `threads` serving loops.
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            users: 8,
+            checkins: 12,
+            requests: 16,
+            kills: 3,
+            corruptions: 8,
+            seed: 0,
+            threads: 2,
+        }
+    }
+}
+
+/// One chaos scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Scenario label, `chaos/...`.
+    pub name: String,
+    /// Wall-clock for the whole scenario (drive + replay + asserts).
+    pub wall_ms: f64,
+    /// Faults injected: worker kills, corrupted frames, or (for the flood
+    /// scenario) overload rejections observed.
+    pub faults_injected: u64,
+    /// Valid requests that received a correct response despite the faults.
+    pub requests_survived: u64,
+    /// Supervised worker restarts across every shard.
+    pub restarts: u64,
+    /// Fastest observed decode+restore of the final recovery checkpoint,
+    /// in nanoseconds (0 for the flood scenario, which never crashes).
+    pub recovery_ns: f64,
+    /// Shard servers the fleet was partitioned across.
+    pub threads: usize,
+}
+
+/// The full chaos-harness result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// One row per (scenario, shard count), in execution order.
+    pub rows: Vec<ChaosRow>,
+}
+
+impl Outcome {
+    /// Renders the summary table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "chaos: seeded faults over the supervised serving path",
+            &["scenario", "shards", "faults", "survived", "restarts", "recovery µs"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.name.clone(),
+                row.threads.to_string(),
+                row.faults_injected.to_string(),
+                row.requests_survived.to_string(),
+                row.restarts.to_string(),
+                format!("{:.1}", row.recovery_ns * 1e-3),
+            ]);
+        }
+        table
+    }
+}
+
+/// The fault family a scenario injects while driving the valid workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMix {
+    /// Corrupted frames + one vandal client driven into the ban.
+    Corruption,
+    /// Worker kills at seeded random request ordinals.
+    WorkerKill,
+    /// Worker kills placed inside open profile windows.
+    MidWindowRestart,
+}
+
+impl FaultMix {
+    fn label(self) -> &'static str {
+        match self {
+            FaultMix::Corruption => "corruption",
+            FaultMix::WorkerKill => "worker_kill",
+            FaultMix::MidWindowRestart => "mid_window_restart",
+        }
+    }
+}
+
+/// What one shard reports back after its faulty run + fault-free replay.
+struct ShardStats {
+    faults: u64,
+    survived: u64,
+    restarts: u64,
+    recovery_ns: f64,
+}
+
+/// The same deterministic home grid the serving benchmark uses.
+fn home_of(user: usize) -> Point {
+    Point::new((user % 1_000) as f64 * 2_000.0, (user / 1_000) as f64 * 2_000.0)
+}
+
+/// Swallows the supervisor's own injected-fault panics (they are caught
+/// and recovered, but the default hook would still spam stderr with a
+/// backtrace per kill); every other panic keeps the previous hook.
+fn quiet_injected_faults() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|message| message.contains("injected fault"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Produces a frame guaranteed not to decode: every [`ClientRequest`]
+/// layout is fixed-size, so a truncation, a tag flip (landing on a tag
+/// with a different size, or no tag at all), or a trailing byte all fail
+/// the strict decoder.
+fn corrupt_frame(rng: &mut StdRng, template: &ClientRequest) -> Vec<u8> {
+    let mut bytes = template.encode().to_vec();
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let cut = rng.gen_range(0..bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => bytes[0] ^= 1 << rng.gen_range(0..8u32),
+        _ => bytes.push(rng.gen()),
+    }
+    bytes
+}
+
+/// The per-shard kill schedule for a fault mix, as request ordinals on
+/// the server's fault-plan clock (successfully decoded non-shutdown
+/// requests; corrupted frames never advance it, so the ordinal of a valid
+/// request equals its position in the valid stream).
+fn kill_schedule(
+    mix: FaultMix,
+    config: &Config,
+    shard_seed: u64,
+    shard_users: usize,
+) -> Vec<u64> {
+    let ops_per_user = (config.checkins + 1 + config.requests) as u64;
+    let total_ops = shard_users as u64 * ops_per_user;
+    match mix {
+        FaultMix::Corruption => Vec::new(),
+        FaultMix::WorkerKill => {
+            let mut rng = seeded(derive_seed(shard_seed, 0xdead));
+            (0..config.kills)
+                .filter(|_| total_ops > 0)
+                .map(|_| rng.gen_range(0..total_ops))
+                .collect()
+        }
+        // One kill per user (up to the budget), landed mid check-in phase:
+        // the window is open, its buffer is non-empty, and the candidate
+        // draw for the eventual close is still in the RNG's future.
+        FaultMix::MidWindowRestart => (0..config.kills.min(shard_users))
+            .map(|k| k as u64 * ops_per_user + (config.checkins as u64) / 2)
+            .collect(),
+    }
+}
+
+/// Drives one shard's valid workload through a supervised server while
+/// injecting `mix`, then replays the identical stream on a fault-free
+/// server and asserts byte-identical responses, byte-identical final
+/// snapshots, and zero candidate re-draws.
+fn drive_shard(config: &Config, mix: FaultMix, shard: usize, shards: usize) -> ShardStats {
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let shard_seed = derive_seed(config.seed, 0xc4a0_5000 + shard as u64);
+    let users: Vec<usize> = (shard..config.users).step_by(shards).collect();
+
+    let plan = FaultPlan::kill_at(kill_schedule(mix, config, shard_seed, users.len()));
+    let kills = plan.remaining() as u64;
+    let (server, handle) = EdgeServer::spawn_with(
+        sys,
+        shard_seed,
+        ServerOptions { fault_plan: plan, ..ServerOptions::default() },
+    );
+
+    let corruptions = if mix == FaultMix::Corruption { config.corruptions } else { 0 };
+    let total_ops = users.len() * (config.checkins + 1 + config.requests);
+    let corrupt_every = total_ops.checked_div(corruptions).unwrap_or(usize::MAX).max(1);
+    let mut corrupt_rng = seeded(derive_seed(shard_seed, 0xbad));
+    let mut faults = kills;
+
+    // The valid stream and its observed response frames, for the replay.
+    let mut transcript: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut op = 0usize;
+    let exchange = |handle: &EdgeHandle,
+                        request: ClientRequest,
+                        transcript: &mut Vec<(Vec<u8>, Vec<u8>)>| {
+        let frame = request.encode().to_vec();
+        let response = handle
+            .call_raw(frame.clone())
+            .unwrap_or_else(|e| panic!("valid request must survive the faults: {e}"));
+        transcript.push((frame, response.encode().to_vec()));
+    };
+
+    for &u in &users {
+        let user = UserId::new(u as u32);
+        let home = home_of(u);
+        for t in 0..config.checkins + 1 + config.requests {
+            if op.is_multiple_of(corrupt_every) && faults - kills < corruptions as u64 {
+                // Each corrupted frame comes from a *fresh* client clone,
+                // so strikes never accumulate into a ban here (the vandal
+                // below covers that path) and the valid stream is never
+                // collateral damage.
+                let polluter = handle.clone();
+                let template =
+                    ClientRequest::CheckIn { user, location: home, timestamp: t as i64 };
+                match polluter.call_raw(corrupt_frame(&mut corrupt_rng, &template)) {
+                    Err(TransportError::Malformed { .. }) => faults += 1,
+                    other => panic!("corrupted frame must be rejected, got {other:?}"),
+                }
+            }
+            let request = if t < config.checkins {
+                ClientRequest::CheckIn { user, location: home, timestamp: t as i64 }
+            } else if t == config.checkins {
+                ClientRequest::FinalizeWindow { user }
+            } else {
+                ClientRequest::RequestLocation { user, location: home }
+            };
+            exchange(&handle, request, &mut transcript);
+            op += 1;
+        }
+    }
+
+    if mix == FaultMix::Corruption {
+        // A vandal spamming garbage until the server drops it: the first
+        // `limit - 1` frames bounce with decrementing strike counts, the
+        // last one closes the vandal's channel (observed as Disconnected).
+        let vandal = handle.clone();
+        let limit = ServerOptions::default().malformed_limit;
+        for strike in 0..limit {
+            let outcome = vandal.call_raw(vec![0xEE; 4]);
+            faults += 1;
+            if strike + 1 < limit {
+                assert!(
+                    matches!(outcome, Err(TransportError::Malformed { .. })),
+                    "vandal strike {strike} should bounce, got {outcome:?}"
+                );
+            } else {
+                assert_eq!(
+                    outcome,
+                    Err(TransportError::Disconnected),
+                    "vandal must be dropped at the malformed limit"
+                );
+            }
+        }
+    }
+
+    handle.shutdown().expect("faulty server must still shut down cleanly");
+    let health = server.health();
+    let faulty = server.join().expect("supervised worker must survive its schedule");
+    let faulty_snap = faulty.snapshot();
+    assert_eq!(health.restarts, kills, "every injected kill is exactly one restart");
+
+    // Fault-free replay of the identical valid stream, same seed.
+    let (clean_server, clean_handle) =
+        EdgeServer::spawn_with(sys, shard_seed, ServerOptions::default());
+    for (request_frame, response_frame) in &transcript {
+        let response = clean_handle
+            .call_raw(request_frame.clone())
+            .expect("fault-free replay must serve every request");
+        assert_eq!(
+            response.encode().as_ref(),
+            response_frame.as_slice(),
+            "a surviving response diverged from the fault-free run"
+        );
+    }
+    clean_handle.shutdown().expect("replay shutdown");
+    let clean_snap =
+        clean_server.join().expect("fault-free server cannot fail").snapshot();
+    assert_eq!(
+        candidate_redraws(&clean_snap, &faulty_snap).expect("snapshots are well-formed"),
+        0,
+        "a crash-restore cycle re-drew a released candidate set"
+    );
+    assert_eq!(
+        faulty_snap.encode(),
+        clean_snap.encode(),
+        "final device state must match the fault-free run bit-for-bit"
+    );
+
+    // Time the recovery path itself on the final checkpoint: decode the
+    // versioned checksummed log and rebuild a device from it.
+    let encoded = faulty_snap.encode();
+    let mut recovery_ns = f64::INFINITY;
+    for _ in 0..8 {
+        let start = Instant::now();
+        let decoded = DeviceSnapshot::decode(&encoded).expect("checkpoint decodes");
+        let restored = EdgeDevice::restore(sys, &decoded).expect("checkpoint restores");
+        let elapsed = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(&restored);
+        recovery_ns = recovery_ns.min(elapsed.max(1.0));
+    }
+
+    ShardStats { faults, survived: transcript.len() as u64, restarts: health.restarts, recovery_ns }
+}
+
+/// Runs one replayable fault family at one shard count.
+fn replayed_scenario(config: &Config, mix: FaultMix, shards: usize) -> ChaosRow {
+    let start = Instant::now();
+    let stats: Vec<ShardStats> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..shards)
+            .map(|shard| scope.spawn(move || drive_shard(config, mix, shard, shards)))
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("shard thread")).collect()
+    });
+    ChaosRow {
+        name: format!("chaos/{}/{shards}", mix.label()),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        faults_injected: stats.iter().map(|s| s.faults).sum(),
+        requests_survived: stats.iter().map(|s| s.survived).sum(),
+        restarts: stats.iter().map(|s| s.restarts).sum(),
+        recovery_ns: stats.iter().map(|s| s.recovery_ns).fold(f64::INFINITY, f64::min),
+        threads: shards,
+    }
+}
+
+/// Floods a deliberately tiny request queue from a concurrent client
+/// burst and asserts the backpressure contract: every request is either
+/// served or shed with a structured `Overloaded` error — nothing hangs,
+/// and the queue-depth gauge returns to zero.
+fn flood_scenario(config: &Config, shards: usize) -> ChaosRow {
+    let start = Instant::now();
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let seed = derive_seed(config.seed, 0xf100d + shards as u64);
+    let (server, handle) = EdgeServer::spawn_with(
+        sys,
+        seed,
+        ServerOptions { queue_capacity: 2, ..ServerOptions::default() },
+    );
+
+    let clients = (shards * 2).max(2);
+    let per_client = (config.requests.max(1)) * 4;
+    let policy = RetryPolicy { max_attempts: 5, backoff_base: 8, backoff_cap: 256 };
+    let (mut served, mut shed) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let user = UserId::new(c as u32);
+                    let home = home_of(c);
+                    let (mut served, mut shed) = (0u64, 0u64);
+                    for t in 0..per_client {
+                        let request =
+                            ClientRequest::CheckIn { user, location: home, timestamp: t as i64 };
+                        match handle.call_with_retry(request, &policy) {
+                            Ok(EdgeResponse::Ack) => served += 1,
+                            Err(TransportError::Overloaded) => shed += 1,
+                            other => panic!("flood outcome must be Ack or Overloaded: {other:?}"),
+                        }
+                    }
+                    (served, shed)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (ok, dropped) = worker.join().expect("flood client thread");
+            served += ok;
+            shed += dropped;
+        }
+    });
+
+    handle.shutdown().expect("flooded server must still shut down cleanly");
+    let health = server.health();
+    let _edge = server.join().expect("flooded server must not crash");
+    assert_eq!(
+        served + shed,
+        (clients * per_client) as u64,
+        "every flood request must resolve: served or structurally shed"
+    );
+    assert_eq!(health.queue_depth, 0, "queue-depth gauge must return to zero");
+    assert!(
+        health.overload_rejections >= shed,
+        "every shed request burned at least one overload rejection"
+    );
+
+    ChaosRow {
+        name: format!("chaos/flood/{shards}"),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        faults_injected: health.overload_rejections,
+        requests_survived: served,
+        restarts: health.restarts,
+        recovery_ns: 0.0,
+        threads: shards,
+    }
+}
+
+/// Runs every fault family at shard counts 1 and `config.threads`.
+pub fn run(config: &Config) -> Outcome {
+    quiet_injected_faults();
+    let mut shard_counts = vec![1, config.threads.max(1)];
+    shard_counts.dedup();
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        for mix in [FaultMix::Corruption, FaultMix::WorkerKill, FaultMix::MidWindowRestart] {
+            rows.push(replayed_scenario(config, mix, shards));
+        }
+        rows.push(flood_scenario(config, shards));
+    }
+    Outcome { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_survive_and_report_their_shape() {
+        let config = Config {
+            users: 4,
+            checkins: 8,
+            requests: 4,
+            kills: 2,
+            corruptions: 4,
+            seed: 7,
+            threads: 2,
+        };
+        let out = run(&config);
+        let names: Vec<&str> = out.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "chaos/corruption/1",
+                "chaos/worker_kill/1",
+                "chaos/mid_window_restart/1",
+                "chaos/flood/1",
+                "chaos/corruption/2",
+                "chaos/worker_kill/2",
+                "chaos/mid_window_restart/2",
+                "chaos/flood/2",
+            ]
+        );
+        let ops = (config.users * (config.checkins + 1 + config.requests)) as u64;
+        for row in &out.rows {
+            assert!(row.wall_ms > 0.0, "{}", row.name);
+            if row.name.starts_with("chaos/flood") {
+                assert_eq!(row.restarts, 0, "{}", row.name);
+            } else {
+                // Replayable scenarios serve the full valid stream no
+                // matter how it is sharded.
+                assert_eq!(row.requests_survived, ops, "{}", row.name);
+                assert!(row.faults_injected > 0, "{}", row.name);
+                assert!(row.recovery_ns > 0.0, "{}", row.name);
+            }
+            if row.name.starts_with("chaos/worker_kill")
+                || row.name.starts_with("chaos/mid_window_restart")
+            {
+                assert!(row.restarts > 0, "{}", row.name);
+                assert_eq!(row.restarts, row.faults_injected, "{}", row.name);
+            }
+        }
+        assert_eq!(out.table().len(), 8);
+    }
+
+    #[test]
+    fn corrupt_frames_never_decode() {
+        let mut rng = seeded(3);
+        let template = ClientRequest::CheckIn {
+            user: UserId::new(9),
+            location: Point::new(10.0, 20.0),
+            timestamp: 4,
+        };
+        for _ in 0..500 {
+            let bytes = corrupt_frame(&mut rng, &template);
+            assert!(ClientRequest::decode(&bytes).is_err(), "{bytes:02x?}");
+        }
+    }
+
+    #[test]
+    fn mid_window_schedule_lands_inside_open_windows() {
+        let config = Config { kills: 3, ..Config::default() };
+        let kills = kill_schedule(FaultMix::MidWindowRestart, &config, 1, 2);
+        let ops_per_user = (config.checkins + 1 + config.requests) as u64;
+        assert_eq!(kills.len(), 2);
+        for (k, &ordinal) in kills.iter().enumerate() {
+            let within = ordinal - k as u64 * ops_per_user;
+            assert!(within < config.checkins as u64, "kill {ordinal} is not mid-window");
+        }
+    }
+}

@@ -7,6 +7,7 @@ use privlocad_geo::Point;
 use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 
+use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
 use crate::user::{UserMap, UserState};
 use crate::SystemConfig;
 
@@ -156,6 +157,54 @@ impl SharedEdgeDevice {
         let slot = self.slot(user);
         let mut state = slot.lock();
         state.reported_location(&self.config, &self.nomadic, current_true, &mut rng)
+    }
+
+    /// Captures a recovery checkpoint: every user's state plus the
+    /// operation counter (this device derives one RNG per operation from
+    /// the counter, so the counter *is* the generator position — the raw
+    /// RNG state words in the snapshot are unused and zero).
+    ///
+    /// Each user's slot lock is taken briefly in turn; for a hard
+    /// consistency point, pause serving threads around the call.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let map = self.users.read();
+        DeviceSnapshot {
+            rng_state: [0; 4],
+            op_counter: self.op_counter.load(Ordering::SeqCst),
+            users: map
+                .keys()
+                .zip(map.values())
+                .map(|(user, slot)| UserRecord::capture(user, &slot.lock()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a shared device from a checkpoint taken with the same
+    /// `seed`: the operation counter resumes where it stood, so later
+    /// operations derive the exact RNG streams the captured device would
+    /// have — no released candidate is ever re-drawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] if the snapshot carries a corrupt table
+    /// image or an invalid posterior table.
+    pub fn restore(
+        config: SystemConfig,
+        seed: u64,
+        snapshot: &DeviceSnapshot,
+    ) -> Result<SharedEdgeDevice, RecoveryError> {
+        let device = SharedEdgeDevice::new(config, seed);
+        device.op_counter.store(snapshot.op_counter, Ordering::SeqCst);
+        {
+            let mut map = device.users.write();
+            for record in &snapshot.users {
+                let state = restore_user(&config, record)?;
+                *map.entry_or_insert_with(record.user, || {
+                    Arc::new(Mutex::new(UserState::new(&config)))
+                }) = Arc::new(Mutex::new(state));
+            }
+        }
+        Ok(device)
     }
 
     /// Batched [`SharedEdgeDevice::reported_location_with`]: answers one
@@ -366,6 +415,35 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_operation_streams() {
+        let edge = device();
+        let user = UserId::new(4);
+        let home = Point::new(300.0, 300.0);
+        for _ in 0..40 {
+            edge.report_checkin(user, home);
+        }
+        edge.finalize_window(user);
+        edge.reported_location(user, home);
+
+        let snap = edge.snapshot();
+        let restored = SharedEdgeDevice::restore(edge.config(), 42, &snap).unwrap();
+        assert_eq!(restored.user_count(), 1);
+        assert_eq!(restored.candidates(user, home), edge.candidates(user, home));
+        assert_eq!(
+            crate::recovery::candidate_redraws(&snap, &restored.snapshot()).unwrap(),
+            0
+        );
+        // The operation counter resumed: both devices derive the same
+        // per-operation RNG streams from here on.
+        for _ in 0..20 {
+            assert_eq!(
+                restored.reported_location(user, home),
+                edge.reported_location(user, home)
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use privlocad_mobility::UserId;
 use rand::rngs::StdRng;
 
 use crate::protocol::{ClientRequest, EdgeResponse};
+use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
 use crate::user::{UserMap, UserState};
 use crate::{filter_ads_by, SystemConfig};
 
@@ -200,6 +201,84 @@ impl EdgeDevice {
             };
             responses.push(response);
         }
+    }
+
+    /// Captures a full recovery checkpoint: every user's window state,
+    /// permanent candidate sets, and posterior tables, plus the raw RNG
+    /// state words — enough to resume serving bit-for-bit where the device
+    /// stood, without re-drawing a single released candidate (see
+    /// [`crate::recovery`] for why re-drawing is a privacy violation).
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            rng_state: self.rng.state(),
+            op_counter: 0,
+            users: self
+                .users
+                .keys()
+                .zip(self.users.values())
+                .map(|(user, state)| UserRecord::capture(user, state))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a device from a checkpoint. The restored device continues
+    /// the exact RNG stream of the captured one, so any draw that was in
+    /// flight when the original crashed is re-executed identically — a
+    /// mid-window restart never re-draws candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] if the snapshot carries a corrupt table
+    /// image or an invalid posterior table.
+    pub fn restore(
+        config: SystemConfig,
+        snapshot: &DeviceSnapshot,
+    ) -> Result<EdgeDevice, RecoveryError> {
+        let mut device = EdgeDevice::new(config, 0);
+        device.rng = StdRng::from_state(snapshot.rng_state);
+        for record in &snapshot.users {
+            let state = restore_user(&config, record)?;
+            *device.users.entry_or_insert_with(record.user, || UserState::new(&config)) = state;
+        }
+        Ok(device)
+    }
+
+    /// Replaces this device's state with a checkpoint, refusing any
+    /// snapshot that would *forget* candidates this device has already
+    /// released ([`RecoveryError::BudgetViolation`]): a forgotten top
+    /// location would be silently re-obfuscated at its next window close,
+    /// double-spending the one-and-only `(r, ε, δ, n)` budget.
+    ///
+    /// This is the conservative operator-facing path (e.g. rolling back to
+    /// an older checkpoint by hand). The crash-recovery supervisor uses
+    /// [`EdgeDevice::restore`] directly: it only ever restores the latest
+    /// committed checkpoint, whose candidates are a superset of anything a
+    /// client has observed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::BudgetViolation`] naming the first user
+    /// whose released candidates the snapshot lost, or any decode error
+    /// from the snapshot itself. On error, `self` is unchanged.
+    pub fn adopt_snapshot(&mut self, snapshot: &DeviceSnapshot) -> Result<(), RecoveryError> {
+        for (user, state) in self.users.keys().zip(self.users.values()) {
+            let live = state.obfuscation.table();
+            if live.is_empty() {
+                continue;
+            }
+            let Some(record) = snapshot.record(user) else {
+                return Err(RecoveryError::BudgetViolation { user: user.raw() });
+            };
+            let restored = record.table()?;
+            for (top, candidates) in live.entries() {
+                match restored.entries().find(|(t, _)| *t == top) {
+                    Some((_, kept)) if kept == candidates => {}
+                    _ => return Err(RecoveryError::BudgetViolation { user: user.raw() }),
+                }
+            }
+        }
+        *self = EdgeDevice::restore(self.config, snapshot)?;
+        Ok(())
     }
 
     /// Serves one end-to-end ad request: selects the reported location,
@@ -470,6 +549,82 @@ mod tests {
             }
         }
         assert_eq!(responses[61], EdgeResponse::Ack); // device-level Shutdown is a no-op
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_run_bit_for_bit() {
+        let mut original = edge();
+        let user = UserId::new(1);
+        let home = Point::new(1_000.0, 1_000.0);
+        settle_home(&mut original, user, home);
+        original.reported_location(user, home);
+        original.reported_location(user, Point::new(40_000.0, 0.0)); // nomadic draw
+
+        let snap = original.snapshot();
+        let mut restored = EdgeDevice::restore(original.config(), &snap).unwrap();
+        assert_eq!(restored.user_count(), 1);
+        // Candidates restored bit-for-bit: no re-draw happened.
+        assert_eq!(
+            restored.candidates(user, home).unwrap(),
+            original.candidates(user, home).unwrap()
+        );
+        assert_eq!(
+            crate::recovery::candidate_redraws(&snap, &restored.snapshot()).unwrap(),
+            0
+        );
+        // And the RNG resumes the exact stream: future outputs agree.
+        for _ in 0..20 {
+            assert_eq!(
+                restored.reported_location(user, home),
+                original.reported_location(user, home)
+            );
+            assert_eq!(
+                restored.reported_location(user, Point::new(40_000.0, 0.0)),
+                original.reported_location(user, Point::new(40_000.0, 0.0))
+            );
+        }
+    }
+
+    #[test]
+    fn mid_window_restore_resumes_the_open_window() {
+        let mut original = edge();
+        let user = UserId::new(2);
+        let home = Point::new(-500.0, 250.0);
+        // Open window with buffered check-ins, not yet finalized.
+        for _ in 0..45 {
+            original.report_checkin(user, home);
+        }
+        let snap = original.snapshot();
+        let mut restored = EdgeDevice::restore(original.config(), &snap).unwrap();
+        // Both close the window now: identical top set and candidates.
+        assert_eq!(restored.finalize_window(user), original.finalize_window(user));
+        assert_eq!(
+            restored.candidates(user, home).unwrap(),
+            original.candidates(user, home).unwrap()
+        );
+    }
+
+    #[test]
+    fn adopt_snapshot_refuses_to_forget_released_candidates() {
+        let mut e = edge();
+        let user = UserId::new(3);
+        let home = Point::new(2_000.0, 0.0);
+        // Checkpoint taken before any candidates were released.
+        e.report_checkin(user, home);
+        let early = e.snapshot();
+        // Candidates released after the checkpoint.
+        settle_home(&mut e, user, home);
+        let released = e.candidates(user, home).unwrap().to_vec();
+        // Rolling back would forget them: refused, state untouched.
+        assert_eq!(
+            e.adopt_snapshot(&early),
+            Err(crate::recovery::RecoveryError::BudgetViolation { user: 3 })
+        );
+        assert_eq!(e.candidates(user, home).unwrap(), released.as_slice());
+        // Adopting a checkpoint that kept every released set is fine.
+        let current = e.snapshot();
+        e.adopt_snapshot(&current).unwrap();
+        assert_eq!(e.candidates(user, home).unwrap(), released.as_slice());
     }
 
     #[test]

@@ -3,6 +3,8 @@ use std::fmt;
 
 use privlocad_mechanisms::MechanismError;
 
+use crate::recovery::RecoveryError;
+
 /// Error type for Edge-PrivLocAd configuration and operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SystemError {
@@ -16,6 +18,15 @@ pub enum SystemError {
     InvalidWindow,
     /// An operation referenced a user unknown to the edge device.
     UnknownUser(u32),
+    /// A supervised serving worker failed permanently after `restarts`
+    /// restarts; its pending requests were failed explicitly.
+    WorkerFailed {
+        /// How many times the supervisor restarted the worker before
+        /// giving up.
+        restarts: u32,
+    },
+    /// Crash recovery failed (corrupt snapshot log, budget violation, …).
+    Recovery(RecoveryError),
 }
 
 impl fmt::Display for SystemError {
@@ -30,6 +41,10 @@ impl fmt::Display for SystemError {
             }
             SystemError::InvalidWindow => write!(f, "time window must be at least one day"),
             SystemError::UnknownUser(u) => write!(f, "user {u} has no state on this edge device"),
+            SystemError::WorkerFailed { restarts } => {
+                write!(f, "edge serving worker failed permanently after {restarts} restarts")
+            }
+            SystemError::Recovery(e) => write!(f, "crash recovery failed: {e}"),
         }
     }
 }
@@ -38,6 +53,7 @@ impl Error for SystemError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SystemError::Mechanism(e) => Some(e),
+            SystemError::Recovery(e) => Some(e),
             _ => None,
         }
     }
@@ -46,6 +62,12 @@ impl Error for SystemError {
 impl From<MechanismError> for SystemError {
     fn from(e: MechanismError) -> Self {
         SystemError::Mechanism(e)
+    }
+}
+
+impl From<RecoveryError> for SystemError {
+    fn from(e: RecoveryError) -> Self {
+        SystemError::Recovery(e)
     }
 }
 
@@ -59,6 +81,10 @@ mod tests {
         assert!(e.to_string().contains("mechanism parameter error"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&SystemError::InvalidWindow).is_none());
+        let e = SystemError::from(RecoveryError::Truncated);
+        assert!(e.to_string().contains("crash recovery failed"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SystemError::WorkerFailed { restarts: 2 }).is_none());
     }
 
     #[test]
@@ -68,6 +94,8 @@ mod tests {
             SystemError::InvalidLength(-2.0),
             SystemError::InvalidWindow,
             SystemError::UnknownUser(3),
+            SystemError::WorkerFailed { restarts: 4 },
+            SystemError::Recovery(RecoveryError::BudgetViolation { user: 5 }),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -65,14 +65,18 @@ mod fleet;
 mod management;
 mod obfuscation;
 pub mod protocol;
+pub mod recovery;
 mod risk;
 mod server;
 mod system;
 mod user;
 
 pub use concurrent::SharedEdgeDevice;
+pub use recovery::{candidate_redraws, DeviceSnapshot, RecoveryError};
 pub use risk::{LocationRisk, Recommendation, RiskAssessor, RiskReport};
-pub use server::{EdgeHandle, EdgeServer, TransportError};
+pub use server::{
+    EdgeHandle, EdgeServer, FaultPlan, HealthSnapshot, RetryPolicy, ServerOptions, TransportError,
+};
 pub use config::{EtaThreshold, SelectionKind, SystemConfig, SystemConfigBuilder};
 pub use edge::{AdDelivery, EdgeDevice};
 pub use error::SystemError;

@@ -86,6 +86,31 @@ impl LocationManager {
         self.buffer.len()
     }
 
+    /// The current window's buffered check-ins, oldest first — serialized
+    /// by crash recovery so a restored device resumes the open window with
+    /// nothing lost.
+    pub(crate) fn buffered(&self) -> &[Point] {
+        &self.buffer
+    }
+
+    /// Reinstates checkpointed window state verbatim: the open window's
+    /// buffer, the last computed profile (in its recorded entry order),
+    /// the η-frequent set, and the window epoch. θ and η keep their
+    /// constructor values — they come from the device config, which the
+    /// restore caller supplies.
+    pub(crate) fn restore_window_state(
+        &mut self,
+        buffer: Vec<Point>,
+        profile: LocationProfile,
+        top_set: Vec<ProfileEntry>,
+        windows_closed: usize,
+    ) {
+        self.buffer = buffer;
+        self.profile = profile;
+        self.top_set = top_set;
+        self.windows_closed = windows_closed;
+    }
+
     /// Closes the window: rebuilds the profile from the buffered check-ins
     /// and recomputes the η-frequent location set. Returns the new set.
     ///

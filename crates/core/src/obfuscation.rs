@@ -84,6 +84,13 @@ impl ObfuscationTable {
         self.entries[idx].1.as_slice()
     }
 
+    /// Iterates the `(top location, candidates)` entries in release
+    /// order — used by crash recovery to verify that a restored table
+    /// kept every released candidate set bit-for-bit.
+    pub fn entries(&self) -> impl Iterator<Item = (Point, &[Point])> {
+        self.entries.iter().map(|(top, candidates)| (*top, candidates.as_slice()))
+    }
+
     /// Number of protected top locations.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -8,8 +8,14 @@
 //! in-process channel; a production deployment would move the same frames
 //! over the radio link.
 //!
-//! Frames are length-free (fixed layout per message type) with a one-byte
-//! tag, all integers big-endian.
+//! Frames carry a one-byte tag followed by a fixed layout per message
+//! type, all integers big-endian. Decoding is *total*: every parse path
+//! is bounds-checked and rejects truncated, oversized, trailing-garbage,
+//! and unknown-tag input with a [`FrameError`] — corrupted bytes can
+//! never panic the serving loop. For byte-stream transports that do not
+//! preserve message boundaries, [`frame`]/[`deframe`] add a length
+//! prefix that is itself validated against [`MAX_FRAME_LEN`], so a lying
+//! length field cannot trigger unbounded reads or allocations.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use privlocad_geo::Point;
@@ -59,6 +65,43 @@ pub enum EdgeResponse {
     },
     /// Acknowledgement without payload (check-ins, shutdown).
     Ack,
+    /// The request could not be served; the supervisor reports why so the
+    /// client's reply channel fails explicitly instead of hanging.
+    Error {
+        /// Why the request failed.
+        code: ErrorCode,
+        /// Code-specific detail: remaining malformed-frame strikes for
+        /// [`ErrorCode::Malformed`], worker restart count for
+        /// [`ErrorCode::WorkerFailed`].
+        detail: u32,
+    },
+}
+
+/// Failure reason carried by an [`EdgeResponse::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request frame failed to decode on the server side.
+    Malformed,
+    /// The worker serving the request failed permanently (panicked past
+    /// its restart budget).
+    WorkerFailed,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0x01,
+            ErrorCode::WorkerFailed => 0x02,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<Self, FrameError> {
+        match byte {
+            0x01 => Ok(ErrorCode::Malformed),
+            0x02 => Ok(ErrorCode::WorkerFailed),
+            other => Err(FrameError::UnknownErrorCode(other)),
+        }
+    }
 }
 
 /// Error decoding a protocol frame.
@@ -75,6 +118,24 @@ pub enum FrameError {
     UnknownTag(u8),
     /// The buffer is empty.
     Empty,
+    /// The frame is longer than its tag's fixed layout — trailing bytes
+    /// mean the sender and receiver disagree about the layout, so the
+    /// whole frame is suspect.
+    TrailingBytes {
+        /// The frame's tag byte.
+        tag: u8,
+        /// Bytes past the end of the layout.
+        extra: usize,
+    },
+    /// A length prefix declares a frame larger than any legal message.
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+        /// The largest legal body length ([`MAX_FRAME_LEN`]).
+        max: usize,
+    },
+    /// An [`EdgeResponse::Error`] frame carries an unknown failure code.
+    UnknownErrorCode(u8),
 }
 
 impl std::fmt::Display for FrameError {
@@ -85,6 +146,15 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
             FrameError::Empty => write!(f, "empty frame"),
+            FrameError::TrailingBytes { tag, extra } => {
+                write!(f, "frame with tag {tag:#04x} has {extra} trailing bytes")
+            }
+            FrameError::Oversized { declared, max } => {
+                write!(f, "length prefix declares {declared} bytes, max frame is {max}")
+            }
+            FrameError::UnknownErrorCode(c) => {
+                write!(f, "unknown error code {c:#04x} in error frame")
+            }
         }
     }
 }
@@ -98,6 +168,12 @@ const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_REPORTED: u8 = 0x81;
 const TAG_WINDOW_CLOSED: u8 = 0x82;
 const TAG_ACK: u8 = 0x83;
+const TAG_ERROR: u8 = 0x84;
+
+/// Largest legal frame body in bytes. The biggest fixed layout is a
+/// check-in (29 bytes); anything larger declared by a length prefix is
+/// corruption, rejected before any read or allocation happens.
+pub const MAX_FRAME_LEN: usize = 64;
 
 fn need(buf: &[u8], needed: usize) -> Result<(), FrameError> {
     if buf.len() < needed {
@@ -105,6 +181,55 @@ fn need(buf: &[u8], needed: usize) -> Result<(), FrameError> {
     } else {
         Ok(())
     }
+}
+
+/// Rejects frames longer than their tag's fixed layout: `rest` must be
+/// exactly what the layout consumed.
+fn finish(tag: u8, rest: &[u8]) -> Result<(), FrameError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(FrameError::TrailingBytes { tag, extra: rest.len() })
+    }
+}
+
+/// Length-prefixes a frame body for byte-stream transports: a big-endian
+/// `u16` length followed by the body.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`] — encoders in this module
+/// never produce such a frame.
+pub fn frame(body: &[u8]) -> Bytes {
+    assert!(body.len() <= MAX_FRAME_LEN, "frame body exceeds MAX_FRAME_LEN");
+    let mut buf = BytesMut::with_capacity(2 + body.len());
+    buf.put_u16(body.len() as u16);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Splits one length-prefixed frame off the front of `buf`, returning
+/// `(body, rest)`.
+///
+/// Total: a lying length prefix yields [`FrameError::Oversized`] (declared
+/// length past [`MAX_FRAME_LEN`]) or [`FrameError::Truncated`] (declared
+/// length past the available bytes) — never a panic or an out-of-bounds
+/// read. The body still has to pass its own tag-layout decode.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] for empty, truncated, or oversized input.
+pub fn deframe(buf: &[u8]) -> Result<(&[u8], &[u8]), FrameError> {
+    if buf.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    need(buf, 2)?;
+    let declared = usize::from(u16::from_be_bytes([buf[0], buf[1]]));
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { declared, max: MAX_FRAME_LEN });
+    }
+    need(&buf[2..], declared)?;
+    Ok((&buf[2..2 + declared], &buf[2 + declared..]))
 }
 
 impl ClientRequest {
@@ -134,39 +259,55 @@ impl ClientRequest {
         buf.freeze()
     }
 
-    /// Decodes a request frame.
+    /// Decodes a request frame. Strict: the frame must be exactly its
+    /// tag's fixed layout — truncated or trailing bytes are rejected.
     ///
     /// # Errors
     ///
-    /// Returns a [`FrameError`] for empty, truncated, or unknown frames.
+    /// Returns a [`FrameError`] for empty, truncated, oversized, or
+    /// unknown frames.
     pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
         if buf.is_empty() {
             return Err(FrameError::Empty);
         }
         let tag = buf.get_u8();
-        match tag {
+        let decoded = match tag {
             TAG_CHECK_IN => {
                 need(buf, 28)?;
-                Ok(ClientRequest::CheckIn {
+                ClientRequest::CheckIn {
                     user: UserId::new(buf.get_u32()),
                     location: Point::new(buf.get_f64(), buf.get_f64()),
                     timestamp: buf.get_i64(),
-                })
+                }
             }
             TAG_REQUEST_LOCATION => {
                 need(buf, 20)?;
-                Ok(ClientRequest::RequestLocation {
+                ClientRequest::RequestLocation {
                     user: UserId::new(buf.get_u32()),
                     location: Point::new(buf.get_f64(), buf.get_f64()),
-                })
+                }
             }
             TAG_FINALIZE => {
                 need(buf, 4)?;
-                Ok(ClientRequest::FinalizeWindow { user: UserId::new(buf.get_u32()) })
+                ClientRequest::FinalizeWindow { user: UserId::new(buf.get_u32()) }
             }
-            TAG_SHUTDOWN => Ok(ClientRequest::Shutdown),
-            other => Err(FrameError::UnknownTag(other)),
-        }
+            TAG_SHUTDOWN => ClientRequest::Shutdown,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        finish(tag, buf)?;
+        Ok(decoded)
+    }
+
+    /// Decodes one length-prefixed request off the front of a byte
+    /// stream, returning the request and the unconsumed rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] from either the prefix ([`deframe`]) or
+    /// the strict body decode.
+    pub fn decode_framed(buf: &[u8]) -> Result<(Self, &[u8]), FrameError> {
+        let (body, rest) = deframe(buf)?;
+        Ok((ClientRequest::decode(body)?, rest))
     }
 }
 
@@ -200,33 +341,63 @@ impl EdgeResponse {
                 buf.put_slice(&frame);
             }
             EdgeResponse::Ack => buf.put_u8(TAG_ACK),
+            EdgeResponse::Error { code, detail } => {
+                let mut frame = [0u8; 6];
+                frame[0] = TAG_ERROR;
+                frame[1] = code.to_wire();
+                frame[2..6].copy_from_slice(&detail.to_be_bytes());
+                buf.put_slice(&frame);
+            }
         }
     }
 
-    /// Decodes a response frame.
+    /// Decodes a response frame. Strict: the frame must be exactly its
+    /// tag's fixed layout — truncated or trailing bytes are rejected.
     ///
     /// # Errors
     ///
-    /// Returns a [`FrameError`] for empty, truncated, or unknown frames.
+    /// Returns a [`FrameError`] for empty, truncated, oversized, or
+    /// unknown frames.
     pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
         if buf.is_empty() {
             return Err(FrameError::Empty);
         }
         let tag = buf.get_u8();
-        match tag {
+        let decoded = match tag {
             TAG_REPORTED => {
                 need(buf, 16)?;
-                Ok(EdgeResponse::ReportedLocation {
+                EdgeResponse::ReportedLocation {
                     location: Point::new(buf.get_f64(), buf.get_f64()),
-                })
+                }
             }
             TAG_WINDOW_CLOSED => {
                 need(buf, 4)?;
-                Ok(EdgeResponse::WindowClosed { fresh_obfuscations: buf.get_u32() })
+                EdgeResponse::WindowClosed { fresh_obfuscations: buf.get_u32() }
             }
-            TAG_ACK => Ok(EdgeResponse::Ack),
-            other => Err(FrameError::UnknownTag(other)),
-        }
+            TAG_ACK => EdgeResponse::Ack,
+            TAG_ERROR => {
+                need(buf, 5)?;
+                EdgeResponse::Error {
+                    code: ErrorCode::from_wire(buf.get_u8())?,
+                    detail: buf.get_u32(),
+                }
+            }
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        finish(tag, buf)?;
+        Ok(decoded)
+    }
+
+    /// Decodes one length-prefixed response off the front of a byte
+    /// stream, returning the response and the unconsumed rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] from either the prefix ([`deframe`]) or
+    /// the strict body decode.
+    pub fn decode_framed(buf: &[u8]) -> Result<(Self, &[u8]), FrameError> {
+        let (body, rest) = deframe(buf)?;
+        Ok((EdgeResponse::decode(body)?, rest))
     }
 }
 
@@ -255,6 +426,8 @@ mod tests {
             EdgeResponse::ReportedLocation { location: Point::new(1.25, -7.5) },
             EdgeResponse::WindowClosed { fresh_obfuscations: 3 },
             EdgeResponse::Ack,
+            EdgeResponse::Error { code: ErrorCode::Malformed, detail: 2 },
+            EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail: 9 },
         ]
     }
 
@@ -317,5 +490,87 @@ mod tests {
         assert!(FrameError::Truncated { needed: 20, got: 3 }
             .to_string()
             .contains("need 20"));
+        assert!(FrameError::TrailingBytes { tag: 0x01, extra: 4 }
+            .to_string()
+            .contains("4 trailing"));
+        assert!(FrameError::Oversized { declared: 900, max: MAX_FRAME_LEN }
+            .to_string()
+            .contains("900"));
+        assert!(FrameError::UnknownErrorCode(0x7F).to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        for r in requests() {
+            let mut bytes = r.encode().to_vec();
+            bytes.push(0x00);
+            let err = ClientRequest::decode(&bytes).unwrap_err();
+            assert!(matches!(err, FrameError::TrailingBytes { .. }), "{r:?}: {err}");
+        }
+        for r in responses() {
+            let mut bytes = r.encode().to_vec();
+            bytes.push(0xFF);
+            let err = EdgeResponse::decode(&bytes).unwrap_err();
+            assert!(matches!(err, FrameError::TrailingBytes { .. }), "{r:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_error_code_rejected() {
+        let mut bytes =
+            EdgeResponse::Error { code: ErrorCode::Malformed, detail: 0 }.encode().to_vec();
+        bytes[1] = 0x7F;
+        assert_eq!(EdgeResponse::decode(&bytes), Err(FrameError::UnknownErrorCode(0x7F)));
+    }
+
+    #[test]
+    fn framed_round_trips_and_splits_streams() {
+        // Several frames back to back in one byte stream.
+        let reqs = requests();
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&frame(&r.encode()));
+        }
+        let mut rest: &[u8] = &stream;
+        let mut decoded = Vec::new();
+        while !rest.is_empty() {
+            let (req, r) = ClientRequest::decode_framed(rest).unwrap();
+            decoded.push(req);
+            rest = r;
+        }
+        assert_eq!(decoded, reqs);
+
+        let resp = EdgeResponse::WindowClosed { fresh_obfuscations: 7 };
+        let framed = frame(&resp.encode());
+        let (back, rest) = EdgeResponse::decode_framed(&framed).unwrap();
+        assert_eq!(back, resp);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn deframe_rejects_lying_length_prefixes() {
+        assert_eq!(deframe(&[]), Err(FrameError::Empty));
+        assert!(matches!(deframe(&[0x00]), Err(FrameError::Truncated { .. })));
+        // Declared body longer than the bytes present.
+        assert!(matches!(deframe(&[0x00, 0x10, 0x04]), Err(FrameError::Truncated { .. })));
+        // Declared body longer than any legal frame.
+        let huge = [0xFF, 0xFF, 0x00, 0x00];
+        assert_eq!(
+            deframe(&huge),
+            Err(FrameError::Oversized { declared: 0xFFFF, max: MAX_FRAME_LEN })
+        );
+        // A prefix that lies *short* leaves trailing garbage in the body.
+        let body = ClientRequest::Shutdown.encode();
+        let mut framed = frame(&body).to_vec();
+        framed.extend_from_slice(&ClientRequest::Shutdown.encode());
+        let (req, rest) = ClientRequest::decode_framed(&framed).unwrap();
+        assert_eq!(req, ClientRequest::Shutdown);
+        assert_eq!(rest.len(), 1); // the second, unframed frame is left over
+    }
+
+    #[test]
+    #[should_panic(expected = "frame body exceeds MAX_FRAME_LEN")]
+    fn frame_rejects_oversized_bodies() {
+        let _ = frame(&[0u8; MAX_FRAME_LEN + 1]);
     }
 }

@@ -1,0 +1,555 @@
+//! Privacy-preserving crash recovery for edge devices.
+//!
+//! The paper's privacy argument rests on the n-fold candidate set being
+//! **permanent** (Theorem 2 / Algorithm 3): a device that crashes, loses
+//! its obfuscation table, and re-draws fresh candidates for the same top
+//! locations silently spends a second `(r, ε, δ, n)` budget — exactly the
+//! longitudinal leak the mechanism exists to prevent. Snapshot-restore,
+//! by contrast, is privacy-free: replaying already-released bytes reveals
+//! nothing new, and restoring the RNG state words means any draw that was
+//! rolled back mid-crash is re-executed bit-for-bit identically.
+//!
+//! [`DeviceSnapshot`] captures everything a device needs to resume
+//! exactly where it stood: per-user candidate sets (the obfuscation
+//! table), posterior-weight tables, the open window's check-in buffer,
+//! the profile, the window epoch, and the generator state. The byte log
+//! ([`DeviceSnapshot::encode`]) is versioned and FNV-1a checksummed, so
+//! bit rot in persisted state surfaces as a structured
+//! [`RecoveryError`] instead of a corrupted privacy ledger.
+//!
+//! The budget guard lives in [`crate::EdgeDevice::adopt_snapshot`]: a
+//! live device refuses to adopt a snapshot that has *forgotten* any of
+//! its released candidates ([`RecoveryError::BudgetViolation`]), because
+//! the forgotten top location would be silently re-obfuscated at the
+//! next window close.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use privlocad_attack::{LocationProfile, ProfileEntry};
+use privlocad_geo::Point;
+use privlocad_mechanisms::{PosteriorTable, SelectionCache};
+use privlocad_mobility::UserId;
+
+use crate::user::UserState;
+use crate::{LocationManager, ObfuscationModule, ObfuscationTable, SystemConfig, TableDecodeError};
+
+/// Log magic: `"PLAD"` big-endian.
+const MAGIC: u32 = 0x504C_4144;
+/// Current log format version.
+const VERSION: u16 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the log body — cheap, dependency-free, and plenty to catch
+/// truncation and bit rot in persisted snapshots.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// One user's checkpointed serving state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UserRecord {
+    pub(crate) user: UserId,
+    /// Window epoch: how many profile windows this user has closed.
+    pub(crate) windows_closed: u64,
+    /// The open window's buffered check-ins, oldest first.
+    pub(crate) buffer: Vec<Point>,
+    /// The last computed profile, in its recorded entry order.
+    pub(crate) profile: Vec<ProfileEntry>,
+    /// The η-frequent location set.
+    pub(crate) top_set: Vec<ProfileEntry>,
+    /// The obfuscation table image ([`ObfuscationTable::encode`]) — the
+    /// permanent candidate sets whose loss would be a budget violation.
+    pub(crate) table_image: Vec<u8>,
+    /// Cached posterior tables as `(top, cumulative weights)` pairs.
+    pub(crate) tables: Vec<(Point, Vec<f64>)>,
+}
+
+impl UserRecord {
+    /// The record's obfuscation table, decoded from its image.
+    pub(crate) fn table(&self) -> Result<ObfuscationTable, RecoveryError> {
+        ObfuscationTable::decode(&self.table_image).map_err(RecoveryError::Table)
+    }
+
+    /// Captures one user's live serving state.
+    pub(crate) fn capture(user: UserId, state: &UserState) -> UserRecord {
+        UserRecord {
+            user,
+            windows_closed: state.manager.windows_closed() as u64,
+            buffer: state.manager.buffered().to_vec(),
+            profile: state.manager.profile().entries().to_vec(),
+            top_set: state.manager.top_set().to_vec(),
+            table_image: state.obfuscation.table().encode().to_vec(),
+            tables: state
+                .selection
+                .entries()
+                .map(|(top, table)| (*top, table.cdf().to_vec()))
+                .collect(),
+        }
+    }
+}
+
+/// Rebuilds one user's serving state from its checkpoint record: window
+/// state verbatim (profile entries in their recorded order — the order is
+/// load-bearing, `from_checkins` does not sort), the obfuscation table
+/// from its image, and the posterior cache re-validated entry by entry.
+pub(crate) fn restore_user(
+    config: &SystemConfig,
+    record: &UserRecord,
+) -> Result<UserState, RecoveryError> {
+    let mut manager = LocationManager::new(config.profile_theta_m(), config.eta());
+    manager.restore_window_state(
+        record.buffer.clone(),
+        LocationProfile::from_ordered_entries(record.profile.iter().copied()),
+        record.top_set.clone(),
+        record.windows_closed as usize,
+    );
+    let obfuscation = ObfuscationModule::with_restored_table(config.geo_ind(), &record.table_image)
+        .map_err(RecoveryError::Table)?;
+    let mut selection = SelectionCache::new();
+    for (top, cdf) in &record.tables {
+        let table = PosteriorTable::from_cdf(cdf.clone())
+            .ok_or(RecoveryError::InvalidPosterior { user: record.user.raw() })?;
+        selection.install(*top, table);
+    }
+    Ok(UserState { manager, obfuscation, selection })
+}
+
+/// A full checkpoint of one edge device: every user's state plus the
+/// generator position, captured by [`crate::EdgeDevice::snapshot`] and
+/// restored by [`crate::EdgeDevice::restore`].
+///
+/// For [`crate::SharedEdgeDevice`] the generator position is the
+/// operation counter (`op_counter`) instead of raw state words — both are
+/// carried so one log format serves both devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    pub(crate) rng_state: [u64; 4],
+    pub(crate) op_counter: u64,
+    pub(crate) users: Vec<UserRecord>,
+}
+
+impl DeviceSnapshot {
+    /// Number of users captured in the snapshot.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The users captured in the snapshot, with their window epochs.
+    pub fn users(&self) -> impl Iterator<Item = (UserId, u64)> + '_ {
+        self.users.iter().map(|r| (r.user, r.windows_closed))
+    }
+
+    pub(crate) fn record(&self, user: UserId) -> Option<&UserRecord> {
+        self.users.iter().find(|r| r.user == user)
+    }
+
+    /// Serializes the snapshot into the versioned, FNV-1a-checksummed
+    /// byte log. An edge deployment persists this image durably and
+    /// restores it with [`DeviceSnapshot::decode`] on startup.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.users.len() * 256);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        for word in self.rng_state {
+            buf.put_u64(word);
+        }
+        buf.put_u64(self.op_counter);
+        buf.put_u32(self.users.len() as u32);
+        for record in &self.users {
+            buf.put_u32(record.user.raw());
+            buf.put_u64(record.windows_closed);
+            put_points(&mut buf, &record.buffer);
+            put_entries(&mut buf, &record.profile);
+            put_entries(&mut buf, &record.top_set);
+            buf.put_u32(record.table_image.len() as u32);
+            buf.put_slice(&record.table_image);
+            buf.put_u32(record.tables.len() as u32);
+            for (top, cdf) in &record.tables {
+                buf.put_f64(top.x);
+                buf.put_f64(top.y);
+                buf.put_u32(cdf.len() as u32);
+                for &w in cdf {
+                    buf.put_f64(w);
+                }
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.put_u64(checksum);
+        buf.freeze()
+    }
+
+    /// Restores a snapshot from its byte log.
+    ///
+    /// Total: truncated, oversized, bit-flipped, or wrong-format input
+    /// yields a structured [`RecoveryError`], never a panic or an
+    /// unbounded allocation. The checksum is verified before any field is
+    /// trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] describing the first defect found.
+    pub fn decode(buf: &[u8]) -> Result<Self, RecoveryError> {
+        if buf.len() < 8 {
+            return Err(RecoveryError::Truncated);
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_be_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(RecoveryError::ChecksumMismatch { stored, computed });
+        }
+        let mut buf = body;
+        need(buf, 6)?;
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(RecoveryError::BadMagic(magic));
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(RecoveryError::UnsupportedVersion(version));
+        }
+        need(buf, 4 * 8 + 8 + 4)?;
+        let mut rng_state = [0u64; 4];
+        for word in rng_state.iter_mut() {
+            *word = buf.get_u64();
+        }
+        let op_counter = buf.get_u64();
+        let user_count = buf.get_u32() as usize;
+        let mut users = Vec::with_capacity(user_count.min(1_024));
+        for _ in 0..user_count {
+            need(buf, 12)?;
+            let user = UserId::new(buf.get_u32());
+            let windows_closed = buf.get_u64();
+            let buffer = get_points(&mut buf)?;
+            let profile = get_entries(&mut buf)?;
+            let top_set = get_entries(&mut buf)?;
+            need(buf, 4)?;
+            let image_len = buf.get_u32() as usize;
+            need(buf, image_len)?;
+            let table_image = buf[..image_len].to_vec();
+            buf.advance(image_len);
+            need(buf, 4)?;
+            let table_count = buf.get_u32() as usize;
+            let mut tables = Vec::with_capacity(table_count.min(1_024));
+            for _ in 0..table_count {
+                need(buf, 20)?;
+                let top = Point::new(buf.get_f64(), buf.get_f64());
+                let cdf_len = buf.get_u32() as usize;
+                need(buf, cdf_len.saturating_mul(8))?;
+                let cdf = (0..cdf_len).map(|_| buf.get_f64()).collect();
+                tables.push((top, cdf));
+            }
+            users.push(UserRecord {
+                user,
+                windows_closed,
+                buffer,
+                profile,
+                top_set,
+                table_image,
+                tables,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(RecoveryError::TrailingBytes(buf.len()));
+        }
+        Ok(DeviceSnapshot { rng_state, op_counter, users })
+    }
+}
+
+fn need(buf: &[u8], needed: usize) -> Result<(), RecoveryError> {
+    if buf.len() < needed {
+        Err(RecoveryError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_points(buf: &mut BytesMut, points: &[Point]) {
+    buf.put_u32(points.len() as u32);
+    for p in points {
+        buf.put_f64(p.x);
+        buf.put_f64(p.y);
+    }
+}
+
+fn get_points(buf: &mut &[u8]) -> Result<Vec<Point>, RecoveryError> {
+    need(buf, 4)?;
+    let count = buf.get_u32() as usize;
+    need(buf, count.saturating_mul(16))?;
+    Ok((0..count).map(|_| Point::new(buf.get_f64(), buf.get_f64())).collect())
+}
+
+fn put_entries(buf: &mut BytesMut, entries: &[ProfileEntry]) {
+    buf.put_u32(entries.len() as u32);
+    for e in entries {
+        buf.put_f64(e.location.x);
+        buf.put_f64(e.location.y);
+        buf.put_u64(e.frequency as u64);
+    }
+}
+
+fn get_entries(buf: &mut &[u8]) -> Result<Vec<ProfileEntry>, RecoveryError> {
+    need(buf, 4)?;
+    let count = buf.get_u32() as usize;
+    need(buf, count.saturating_mul(24))?;
+    Ok((0..count)
+        .map(|_| ProfileEntry {
+            location: Point::new(buf.get_f64(), buf.get_f64()),
+            frequency: buf.get_u64() as usize,
+        })
+        .collect())
+}
+
+/// Counts candidate re-draws between two snapshots of the same device: a
+/// top location present in both whose candidate set changed. The chaos
+/// harness asserts this is **zero** across every crash-restore cycle —
+/// any non-zero count is a silent privacy-budget double-spend.
+///
+/// Top locations appearing only in `after` are fresh first releases (a
+/// normal window close), not re-draws.
+///
+/// # Errors
+///
+/// Propagates [`RecoveryError::Table`] if either snapshot carries a
+/// corrupt obfuscation-table image.
+pub fn candidate_redraws(
+    before: &DeviceSnapshot,
+    after: &DeviceSnapshot,
+) -> Result<usize, RecoveryError> {
+    let mut redraws = 0;
+    for record in &before.users {
+        let Some(newer) = after.record(record.user) else {
+            continue;
+        };
+        let old_table = record.table()?;
+        let new_table = newer.table()?;
+        for (top, old_candidates) in old_table.entries() {
+            if let Some((_, new_candidates)) =
+                new_table.entries().find(|(t, _)| *t == top)
+            {
+                if new_candidates != old_candidates {
+                    redraws += 1;
+                }
+            }
+        }
+    }
+    Ok(redraws)
+}
+
+/// Error restoring or validating a [`DeviceSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The log ends before its declared content.
+    Truncated,
+    /// The log does not start with the snapshot magic.
+    BadMagic(u32),
+    /// The log was written by an unknown format version.
+    UnsupportedVersion(u16),
+    /// The FNV-1a checksum does not match the body — bit rot or
+    /// truncation in persisted state.
+    ChecksumMismatch {
+        /// Checksum stored in the log.
+        stored: u64,
+        /// Checksum computed over the body.
+        computed: u64,
+    },
+    /// The log continues past its declared content.
+    TrailingBytes(usize),
+    /// An embedded obfuscation-table image failed to decode.
+    Table(TableDecodeError),
+    /// A checkpointed posterior table violates the cumulative-weight
+    /// invariants.
+    InvalidPosterior {
+        /// The raw id of the affected user.
+        user: u32,
+    },
+    /// Adopting the snapshot would forget candidates the live device has
+    /// already released: the affected user's next window close would
+    /// silently re-draw them, double-spending the privacy budget.
+    BudgetViolation {
+        /// The raw id of the affected user.
+        user: u32,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Truncated => write!(f, "truncated snapshot log"),
+            RecoveryError::BadMagic(m) => write!(f, "bad snapshot magic {m:#010x}"),
+            RecoveryError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            RecoveryError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            RecoveryError::TrailingBytes(n) => {
+                write!(f, "snapshot log has {n} trailing bytes")
+            }
+            RecoveryError::Table(e) => write!(f, "snapshot obfuscation table: {e}"),
+            RecoveryError::InvalidPosterior { user } => {
+                write!(f, "invalid checkpointed posterior table for user {user}")
+            }
+            RecoveryError::BudgetViolation { user } => write!(
+                f,
+                "restoring would forget released candidates of user {user}; \
+                 the next window close would re-draw them (privacy budget double-spend)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> DeviceSnapshot {
+        let mut table = ObfuscationTable::new(200.0);
+        table.insert(Point::new(10.0, 20.0), vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        DeviceSnapshot {
+            rng_state: [1, 2, 3, 4],
+            op_counter: 99,
+            users: vec![UserRecord {
+                user: UserId::new(7),
+                windows_closed: 2,
+                buffer: vec![Point::new(5.0, 6.0)],
+                profile: vec![ProfileEntry { location: Point::new(10.0, 20.0), frequency: 30 }],
+                top_set: vec![ProfileEntry { location: Point::new(10.0, 20.0), frequency: 30 }],
+                table_image: table.encode().to_vec(),
+                tables: vec![(Point::new(10.0, 20.0), vec![0.5, 1.0])],
+            }],
+        }
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let snap = snapshot();
+        let log = snap.encode();
+        let back = DeviceSnapshot::decode(&log).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.user_count(), 1);
+        assert_eq!(back.users().collect::<Vec<_>>(), vec![(UserId::new(7), 2)]);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_caught() {
+        let log = snapshot().encode();
+        for byte in 0..log.len() {
+            for bit in 0..8 {
+                let mut bad = log.to_vec();
+                bad[byte] ^= 1 << bit;
+                let err = DeviceSnapshot::decode(&bad)
+                    .expect_err("a flipped bit must not decode cleanly");
+                // Flips in the trailing checksum itself also surface as a
+                // mismatch — the body hash no longer agrees.
+                assert!(
+                    matches!(err, RecoveryError::ChecksumMismatch { .. }),
+                    "byte {byte} bit {bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let log = snapshot().encode();
+        for len in 0..log.len() {
+            assert!(
+                DeviceSnapshot::decode(&log[..len]).is_err(),
+                "prefix of {len} bytes decoded cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_caught() {
+        // Corrupt the field, then re-stamp a valid checksum so the defect
+        // reaches the structural check.
+        let restamp = |mut body: Vec<u8>| {
+            let split = body.len() - 8;
+            let sum = fnv1a(&body[..split]);
+            body[split..].copy_from_slice(&sum.to_be_bytes());
+            body
+        };
+        let log = snapshot().encode().to_vec();
+        let mut bad = log.clone();
+        bad[0] = 0x00;
+        assert!(matches!(
+            DeviceSnapshot::decode(&restamp(bad)),
+            Err(RecoveryError::BadMagic(_))
+        ));
+        let mut bad = log.clone();
+        bad[5] = 0xEE;
+        assert!(matches!(
+            DeviceSnapshot::decode(&restamp(bad)),
+            Err(RecoveryError::UnsupportedVersion(_))
+        ));
+        let mut bad = log;
+        bad.splice(bad.len() - 8..bad.len() - 8, [0u8]);
+        assert!(matches!(
+            DeviceSnapshot::decode(&restamp(bad)),
+            Err(RecoveryError::TrailingBytes(_) | RecoveryError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn redraw_counting_flags_changed_candidates() {
+        let before = snapshot();
+        // Identical snapshots: no re-draws.
+        assert_eq!(candidate_redraws(&before, &before).unwrap(), 0);
+
+        // Same top, different candidates: one re-draw.
+        let mut redrawn = before.clone();
+        let mut table = ObfuscationTable::new(200.0);
+        table.insert(Point::new(10.0, 20.0), vec![Point::new(9.0, 9.0), Point::new(8.0, 8.0)]);
+        redrawn.users[0].table_image = table.encode().to_vec();
+        assert_eq!(candidate_redraws(&before, &redrawn).unwrap(), 1);
+
+        // A fresh top released after the first snapshot is not a re-draw.
+        let mut grown = before.clone();
+        let mut table = ObfuscationTable::decode(&grown.users[0].table_image).unwrap();
+        table.insert(Point::new(9_000.0, 0.0), vec![Point::new(9_001.0, 1.0)]);
+        grown.users[0].table_image = table.encode().to_vec();
+        assert_eq!(candidate_redraws(&before, &grown).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let table_err = RecoveryError::Table(TableDecodeError::Truncated);
+        assert!(table_err.source().is_some());
+        for e in [
+            RecoveryError::Truncated,
+            RecoveryError::BadMagic(0xDEAD_BEEF),
+            RecoveryError::UnsupportedVersion(9),
+            RecoveryError::ChecksumMismatch { stored: 1, computed: 2 },
+            RecoveryError::TrailingBytes(3),
+            table_err.clone(),
+            RecoveryError::InvalidPosterior { user: 4 },
+            RecoveryError::BudgetViolation { user: 5 },
+        ] {
+            assert!(!e.to_string().is_empty());
+            if !matches!(e, RecoveryError::Table(_)) {
+                assert!(e.source().is_none());
+            }
+        }
+    }
+}

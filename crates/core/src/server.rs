@@ -1,25 +1,59 @@
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
+use rand::rngs::StdRng;
+use rand::Rng;
 
-use crate::protocol::{ClientRequest, EdgeResponse, FrameError};
-use crate::{EdgeDevice, SystemConfig};
+use crate::protocol::{ClientRequest, EdgeResponse, ErrorCode, FrameError};
+use crate::recovery::DeviceSnapshot;
+use crate::{EdgeDevice, SystemConfig, SystemError};
 
-/// An encoded request frame paired with the channel its response frame is
-/// sent back on. Responses travel as [`Bytes`] so a batched wakeup can
-/// encode every response into one block and send O(1) slices of it.
-type Envelope = (Vec<u8>, SyncSender<Bytes>);
+/// RNG stream index reserved for the supervisor's backoff jitter, far
+/// away from the per-operation streams the devices derive.
+const SUPERVISOR_STREAM: u64 = u64::MAX - 1;
+
+/// An encoded request frame, tagged with the sending client's identity
+/// (for per-connection malformed-frame accounting) and paired with the
+/// channel its response frame is sent back on. Responses travel as
+/// [`Bytes`] so a batched wakeup can encode every response into one block
+/// and send O(1) slices of it.
+#[derive(Debug)]
+struct Envelope {
+    client: u64,
+    frame: Vec<u8>,
+    reply: SyncSender<Bytes>,
+}
 
 /// A handle for talking to a running [`EdgeServer`] from any thread.
 ///
-/// Cloneable; all clones feed the same serving loop. Requests and
-/// responses cross the transport in their binary frame encoding, exactly
-/// as they would over a radio link.
-#[derive(Debug, Clone)]
+/// Cloneable; all clones feed the same serving loop, and each clone has
+/// its own client identity for the server's per-connection error
+/// accounting. Requests and responses cross the transport in their
+/// binary frame encoding, exactly as they would over a radio link.
+#[derive(Debug)]
 pub struct EdgeHandle {
     tx: SyncSender<Envelope>,
+    client: u64,
+    next_client: Arc<AtomicU64>,
+    health: Arc<HealthCounters>,
+}
+
+impl Clone for EdgeHandle {
+    fn clone(&self) -> Self {
+        EdgeHandle {
+            tx: self.tx.clone(),
+            client: self.next_client.fetch_add(1, Ordering::Relaxed),
+            next_client: Arc::clone(&self.next_client),
+            health: Arc::clone(&self.health),
+        }
+    }
 }
 
 /// Errors surfaced by [`EdgeHandle`] calls.
@@ -31,6 +65,24 @@ pub enum TransportError {
     Frame(FrameError),
     /// The server answered with an unexpected response type.
     UnexpectedResponse,
+    /// The server rejected this client's frame as malformed. After
+    /// `strikes_left` more consecutive malformed frames the client is
+    /// dropped.
+    Malformed {
+        /// Consecutive malformed frames left before the server drops
+        /// this client.
+        strikes_left: u32,
+    },
+    /// The request queue is full; back off and retry
+    /// ([`EdgeHandle::call_with_retry`]) or shed the request.
+    Overloaded,
+    /// The serving worker failed permanently after `restarts` supervised
+    /// restarts.
+    WorkerFailed {
+        /// How many times the supervisor restarted the worker before
+        /// giving up.
+        restarts: u32,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -39,6 +91,13 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "edge server disconnected"),
             TransportError::Frame(e) => write!(f, "frame error: {e}"),
             TransportError::UnexpectedResponse => write!(f, "unexpected response type"),
+            TransportError::Malformed { strikes_left } => {
+                write!(f, "server rejected malformed frame ({strikes_left} strikes left)")
+            }
+            TransportError::Overloaded => write!(f, "edge server request queue is full"),
+            TransportError::WorkerFailed { restarts } => {
+                write!(f, "edge worker failed permanently after {restarts} restarts")
+            }
         }
     }
 }
@@ -58,15 +117,119 @@ impl From<FrameError> for TransportError {
     }
 }
 
+/// Client-side retry policy for [`EdgeHandle::call_with_retry`]: a
+/// bounded attempt budget with exponential, wall-clock-free backoff
+/// (cooperative yield spins), so overload handling is deterministic and
+/// testable without sleeping on a real clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Yield spins before the first retry; doubles every retry.
+    pub backoff_base: u32,
+    /// Upper bound on spins for one backoff step.
+    pub backoff_cap: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff_base: 32, backoff_cap: 4_096 }
+    }
+}
+
+impl RetryPolicy {
+    fn spins(&self, attempt: u32) -> u32 {
+        let exp = attempt.min(16);
+        self.backoff_base.saturating_mul(1 << exp).min(self.backoff_cap)
+    }
+}
+
 impl EdgeHandle {
-    /// Sends one request frame and waits for the response frame.
+    /// Sends one request frame and waits for the response frame, blocking
+    /// while the request queue is full.
     pub fn call(&self, request: ClientRequest) -> Result<EdgeResponse, TransportError> {
+        self.call_raw(request.encode().to_vec())
+    }
+
+    /// [`EdgeHandle::call`] with reject-instead-of-block overload
+    /// semantics: a full request queue fails fast with
+    /// [`TransportError::Overloaded`] instead of parking the caller.
+    pub fn try_call(&self, request: ClientRequest) -> Result<EdgeResponse, TransportError> {
+        self.try_call_raw(request.encode().to_vec())
+    }
+
+    /// [`EdgeHandle::try_call`] with a deterministic retry budget: on
+    /// [`TransportError::Overloaded`], backs off (bounded exponential
+    /// yield spins — no wall clock) and retries until `policy` is
+    /// exhausted.
+    pub fn call_with_retry(
+        &self,
+        request: ClientRequest,
+        policy: &RetryPolicy,
+    ) -> Result<EdgeResponse, TransportError> {
+        let frame = request.encode().to_vec();
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match self.try_call_raw(frame.clone()) {
+                Err(TransportError::Overloaded) if attempt + 1 < attempts => {
+                    for _ in 0..policy.spins(attempt) {
+                        std::thread::yield_now();
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+        Err(TransportError::Overloaded)
+    }
+
+    /// Sends a pre-encoded request frame — possibly corrupted, which is
+    /// exactly what the chaos harness does to exercise the server's
+    /// hardened decode path — and waits for the response frame.
+    pub fn call_raw(&self, frame: Vec<u8>) -> Result<EdgeResponse, TransportError> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.tx
-            .send((request.encode().to_vec(), reply_tx))
-            .map_err(|_| TransportError::Disconnected)?;
+        self.health.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if self
+            .tx
+            .send(Envelope { client: self.client, frame, reply: reply_tx })
+            .is_err()
+        {
+            self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(TransportError::Disconnected);
+        }
+        self.receive(&reply_rx)
+    }
+
+    /// [`EdgeHandle::call_raw`] with reject-instead-of-block overload
+    /// semantics.
+    pub fn try_call_raw(&self, frame: Vec<u8>) -> Result<EdgeResponse, TransportError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.health.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(Envelope { client: self.client, frame, reply: reply_tx }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.health.overload_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(TransportError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(TransportError::Disconnected);
+            }
+        }
+        self.receive(&reply_rx)
+    }
+
+    fn receive(&self, reply_rx: &Receiver<Bytes>) -> Result<EdgeResponse, TransportError> {
         let frame = reply_rx.recv().map_err(|_| TransportError::Disconnected)?;
-        Ok(EdgeResponse::decode(&frame)?)
+        match EdgeResponse::decode(&frame)? {
+            EdgeResponse::Error { code: ErrorCode::Malformed, detail } => {
+                Err(TransportError::Malformed { strikes_left: detail })
+            }
+            EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail } => {
+                Err(TransportError::WorkerFailed { restarts: detail })
+            }
+            response => Ok(response),
+        }
     }
 
     /// Reports a check-in (fire-and-forget semantics at the API level; the
@@ -112,13 +275,140 @@ impl EdgeHandle {
     }
 }
 
-/// An edge device behind a message-passing serving loop.
+/// Tuning knobs for a supervised [`EdgeServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Request-queue capacity; beyond it, [`EdgeHandle::try_call`]
+    /// rejects with [`TransportError::Overloaded`] (and [`EdgeHandle::call`]
+    /// blocks).
+    pub queue_capacity: usize,
+    /// Consecutive malformed frames from one client before the server
+    /// drops that client instead of answering it.
+    pub malformed_limit: u32,
+    /// Worker restarts the supervisor attempts before failing the server
+    /// permanently with [`SystemError::WorkerFailed`].
+    pub max_restarts: u32,
+    /// Backoff spins (cooperative yields) before the first restart;
+    /// doubles every restart.
+    pub backoff_base: u32,
+    /// Upper bound on spins for one backoff step.
+    pub backoff_cap: u32,
+    /// Deterministic crash schedule, for supervision tests and the chaos
+    /// harness. Empty in production.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            queue_capacity: 1_024,
+            malformed_limit: 8,
+            max_restarts: 8,
+            backoff_base: 16,
+            backoff_cap: 4_096,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// A deterministic schedule of injected worker crashes: the worker
+/// panics just before serving request ordinal `k` (0-based, counted over
+/// successfully decoded, non-shutdown requests across the server's
+/// lifetime). Each point fires exactly once — the retry after the
+/// supervised restart proceeds past it, like a real transient fault.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    kill_at: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The empty schedule: no injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A schedule crashing the worker at each listed request ordinal.
+    pub fn kill_at<I: IntoIterator<Item = u64>>(points: I) -> Self {
+        let mut kill_at: Vec<u64> = points.into_iter().collect();
+        kill_at.sort_unstable();
+        kill_at.dedup();
+        FaultPlan { kill_at }
+    }
+
+    /// Number of crash points remaining.
+    pub fn remaining(&self) -> usize {
+        self.kill_at.len()
+    }
+
+    /// Removes and returns the first crash point in `[start, end)`.
+    fn take(&mut self, start: u64, end: u64) -> Option<u64> {
+        let i = self.kill_at.iter().position(|&k| start <= k && k < end)?;
+        Some(self.kill_at.remove(i))
+    }
+}
+
+#[derive(Debug, Default)]
+struct HealthCounters {
+    restarts: AtomicU64,
+    malformed_frames: AtomicU64,
+    dropped_clients: AtomicU64,
+    failed_replies: AtomicU64,
+    overload_rejections: AtomicU64,
+    queue_depth: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// A point-in-time health snapshot of a supervised [`EdgeServer`] — what
+/// a fleet operator scrapes to see a device degrading before it fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Supervised worker restarts so far.
+    pub restarts: u64,
+    /// Malformed request frames rejected by the hardened decode path.
+    pub malformed_frames: u64,
+    /// Clients dropped for exceeding the consecutive-malformed limit.
+    pub dropped_clients: u64,
+    /// Pending replies failed explicitly (worker gave up or queue was
+    /// abandoned) instead of left hanging.
+    pub failed_replies: u64,
+    /// Requests rejected with `Overloaded` by a full queue.
+    pub overload_rejections: u64,
+    /// Requests currently queued (approximate under concurrency).
+    pub queue_depth: u64,
+    /// Recovery checkpoints committed (one per delivered batch).
+    pub checkpoints: u64,
+}
+
+impl HealthCounters {
+    fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            restarts: self.restarts.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            dropped_clients: self.dropped_clients.load(Ordering::Relaxed),
+            failed_replies: self.failed_replies.load(Ordering::Relaxed),
+            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An edge device behind a supervised message-passing serving loop.
 ///
 /// [`EdgeServer::spawn`] starts a dedicated thread owning an
 /// [`EdgeDevice`] and returns a cloneable [`EdgeHandle`]; any number of
 /// client threads can then check in and request locations concurrently,
 /// with the loop serializing access — the deployment shape of Fig. 5
 /// where one edge node fronts many nearby mobile users.
+///
+/// The loop runs under a supervisor: worker panics are caught, the device
+/// is restored from its last committed recovery checkpoint (candidates,
+/// posterior tables, window buffers, and RNG position — see
+/// [`crate::recovery`]), and the interrupted batch is retried once,
+/// bit-for-bit. Responses are delivered only after a batch commits, so a
+/// crash can never expose state that the restore then rolls back. A
+/// worker that keeps dying fails pending replies explicitly
+/// ([`TransportError::WorkerFailed`]) rather than hanging its clients.
 ///
 /// # Examples
 ///
@@ -136,65 +426,212 @@ impl EdgeHandle {
 /// let reported = handle.request_location(user, Point::new(100.0, 100.0))?;
 /// assert!(reported.is_finite());
 /// handle.shutdown()?;
-/// server.join();
+/// let edge = server.join()?;
+/// assert_eq!(edge.user_count(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct EdgeServer {
-    thread: std::thread::JoinHandle<EdgeDevice>,
+    thread: std::thread::JoinHandle<Result<EdgeDevice, SystemError>>,
+    health: Arc<HealthCounters>,
 }
 
 impl EdgeServer {
-    /// Spawns the serving loop and returns the server plus a client handle.
+    /// Spawns the serving loop with default [`ServerOptions`] and returns
+    /// the server plus a client handle.
     pub fn spawn(config: SystemConfig, seed: u64) -> (EdgeServer, EdgeHandle) {
-        let (tx, rx): (SyncSender<Envelope>, Receiver<_>) = sync_channel(1_024);
-        let thread = std::thread::spawn(move || serve(EdgeDevice::new(config, seed), rx));
-        (EdgeServer { thread }, EdgeHandle { tx })
+        EdgeServer::spawn_with(config, seed, ServerOptions::default())
+    }
+
+    /// Spawns the serving loop with explicit options.
+    pub fn spawn_with(
+        config: SystemConfig,
+        seed: u64,
+        options: ServerOptions,
+    ) -> (EdgeServer, EdgeHandle) {
+        let (tx, rx): (SyncSender<Envelope>, Receiver<_>) =
+            sync_channel(options.queue_capacity.max(1));
+        let health = Arc::new(HealthCounters::default());
+        let worker_health = Arc::clone(&health);
+        let thread =
+            std::thread::spawn(move || serve(config, seed, rx, options, worker_health));
+        let handle = EdgeHandle {
+            tx,
+            client: 0,
+            next_client: Arc::new(AtomicU64::new(1)),
+            health: Arc::clone(&health),
+        };
+        (EdgeServer { thread, health }, handle)
+    }
+
+    /// The server's current health counters.
+    pub fn health(&self) -> HealthSnapshot {
+        self.health.snapshot()
     }
 
     /// Waits for the serving loop to finish (after a shutdown request or
     /// once every handle is dropped) and returns the edge device with its
     /// final state for inspection.
-    pub fn join(self) -> EdgeDevice {
-        // lint:allow(panic-hygiene): join fails only if the serving thread panicked; re-raising that panic is the correct propagation
-        self.thread.join().expect("edge serving loop must not panic")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::WorkerFailed`] if the worker died past its
+    /// restart budget (its clients all received explicit failures, never
+    /// a hung channel).
+    pub fn join(self) -> Result<EdgeDevice, SystemError> {
+        let restarts = self.health.restarts.load(Ordering::Relaxed) as u32;
+        match self.thread.join() {
+            Ok(outcome) => outcome,
+            // The supervisor itself never panics by design; if it somehow
+            // does, surface a structured error instead of re-panicking.
+            Err(_) => Err(SystemError::WorkerFailed { restarts }),
+        }
     }
 }
 
-fn serve(mut edge: EdgeDevice, rx: Receiver<Envelope>) -> EdgeDevice {
+/// What the serving loop decided to do with one envelope of a batch.
+enum Verdict {
+    /// Serve it: reply with response at this index of the batch output.
+    Serve(usize),
+    /// Reject it as malformed, with this many strikes left.
+    Reject(u32),
+    /// Drop it silently (banned client): the reply channel closes and the
+    /// client observes a disconnect.
+    Drop,
+}
+
+fn serve(
+    config: SystemConfig,
+    seed: u64,
+    rx: Receiver<Envelope>,
+    options: ServerOptions,
+    health: Arc<HealthCounters>,
+) -> Result<EdgeDevice, SystemError> {
+    let mut edge = EdgeDevice::new(config, seed);
+    // The committed recovery checkpoint: the versioned, checksummed byte
+    // log described in `crate::recovery`, re-taken after every delivered
+    // batch and decoded+restored after every caught panic. Replies go out
+    // only after the checkpoint commits, so restoring it can never roll
+    // back state a client has already observed.
+    let mut log: Bytes = edge.snapshot().encode();
+    let mut backoff_rng = seeded(derive_seed(seed, SUPERVISOR_STREAM));
+    let mut fault_plan = options.fault_plan.clone();
+    let malformed_limit = options.malformed_limit.max(1);
+    // Served-request ordinal (successfully decoded, non-shutdown), the
+    // clock the fault plan runs on.
+    let mut served: u64 = 0;
+    let mut restarts: u32 = 0;
+    // Per-client consecutive-malformed counts and the ban set. BTree
+    // keeps health iteration order deterministic.
+    let mut strikes: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut banned: BTreeSet<u64> = BTreeSet::new();
+
     // Scratch reused across wakeups: one blocking recv per batch, then the
     // queue is drained non-blocking and handed to `EdgeDevice::serve_batch`
-    // in one call, so the per-wakeup cost (and, in the shared-device
-    // deployment shape, the per-lock cost) is amortized over the batch.
+    // in one call, so the per-wakeup cost is amortized over the batch.
     let mut batch: Vec<Envelope> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
     let mut requests: Vec<ClientRequest> = Vec::new();
     let mut responses: Vec<EdgeResponse> = Vec::new();
     let mut frame_buf: Vec<u8> = Vec::new();
     let mut offsets: Vec<std::ops::Range<usize>> = Vec::new();
-    while let Ok(first) = rx.recv() {
+
+    'accept: while let Ok(first) = rx.recv() {
         batch.clear();
         batch.push(first);
         while let Ok(next) = rx.try_recv() {
             batch.push(next);
         }
+        health.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+
+        // Decode phase — total: every frame passes the hardened strict
+        // decode, and malformed input costs its sender strikes, never the
+        // worker its life.
+        verdicts.clear();
         requests.clear();
-        responses.clear();
         let mut shutdown_at = None;
-        for (i, (frame, _)) in batch.iter().enumerate() {
-            match ClientRequest::decode(frame) {
+        for (i, envelope) in batch.iter().enumerate() {
+            if banned.contains(&envelope.client) {
+                verdicts.push(Verdict::Drop);
+                continue;
+            }
+            match ClientRequest::decode(&envelope.frame) {
                 Ok(ClientRequest::Shutdown) => {
                     shutdown_at = Some(i);
                     break;
                 }
-                Ok(request) => requests.push(request),
-                // A malformed frame cannot be answered meaningfully; ack
-                // so the client does not hang, and drop the frame. The
-                // device treats `Shutdown` as exactly that no-op ack —
-                // the transport-level shutdown was intercepted above.
-                Err(_) => requests.push(ClientRequest::Shutdown),
+                Ok(request) => {
+                    strikes.remove(&envelope.client);
+                    verdicts.push(Verdict::Serve(requests.len()));
+                    requests.push(request);
+                }
+                Err(_) => {
+                    health.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    let count = strikes.entry(envelope.client).or_insert(0);
+                    *count += 1;
+                    if *count >= malformed_limit {
+                        strikes.remove(&envelope.client);
+                        banned.insert(envelope.client);
+                        health.dropped_clients.fetch_add(1, Ordering::Relaxed);
+                        verdicts.push(Verdict::Drop);
+                    } else {
+                        verdicts.push(Verdict::Reject(malformed_limit - *count));
+                    }
+                }
             }
         }
-        edge.serve_batch(&requests, &mut responses);
+
+        // Serve phase, under the supervisor. A panic rolls the device
+        // back to the committed checkpoint (unwinding leaves `edge` in an
+        // unknown state, which is exactly why it is replaced wholesale —
+        // that is what makes the `AssertUnwindSafe` sound) and retries
+        // the batch once: the restored RNG position makes the retry
+        // bit-for-bit identical, and injected fault points have already
+        // been consumed. A second panic on the same batch fails its
+        // replies explicitly and drops the batch.
+        let mut attempt = 0;
+        loop {
+            responses.clear();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                serve_requests(&mut edge, &requests, &mut responses, &mut fault_plan, served)
+            }));
+            if outcome.is_ok() {
+                break;
+            }
+            restarts += 1;
+            health.restarts.fetch_add(1, Ordering::Relaxed);
+            let restored = restarts <= options.max_restarts
+                && restore_checkpoint(&log, config, &mut edge).is_ok();
+            if !restored {
+                // Past the restart budget (or the checkpoint itself is
+                // unreadable): fail every pending reply explicitly and
+                // surface a structured error — never a hang, never an
+                // escaped panic.
+                fail_replies(batch.drain(..), restarts, &health);
+                while let Ok(envelope) = rx.try_recv() {
+                    health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    fail_replies(std::iter::once(envelope), restarts, &health);
+                }
+                return Err(SystemError::WorkerFailed { restarts });
+            }
+            backoff(&mut backoff_rng, restarts, &options);
+            attempt += 1;
+            if attempt >= 2 {
+                // The batch poisoned the worker twice: reply with an
+                // explicit failure and move on with the restored device.
+                fail_replies(batch.drain(..), restarts, &health);
+                continue 'accept;
+            }
+        }
+        served += requests.len() as u64;
+
+        // Commit phase: checkpoint first, deliver second. A crash between
+        // the two replays the batch from the *old* checkpoint without
+        // having exposed anything, so clients never observe rolled-back
+        // state.
+        log = edge.snapshot().encode();
+        health.checkpoints.fetch_add(1, Ordering::Relaxed);
+
         // One encode block per wakeup: every response frame lands in
         // `frame_buf`, is frozen into a single shared allocation, and each
         // client gets a zero-copy slice — no per-response allocation.
@@ -206,18 +643,99 @@ fn serve(mut edge: EdgeDevice, rx: Receiver<Envelope>) -> EdgeDevice {
             offsets.push(start..frame_buf.len());
         }
         let block = Bytes::copy_from_slice(&frame_buf);
-        for ((_, reply), range) in batch.iter().zip(offsets.iter().cloned()) {
-            let _ = reply.send(block.slice(range));
+        for (envelope, verdict) in batch.iter().zip(verdicts.iter()) {
+            match verdict {
+                Verdict::Serve(i) => {
+                    let _ = envelope.reply.send(block.slice(offsets[*i].clone()));
+                }
+                Verdict::Reject(strikes_left) => {
+                    let _ = envelope.reply.send(
+                        EdgeResponse::Error {
+                            code: ErrorCode::Malformed,
+                            detail: *strikes_left,
+                        }
+                        .encode(),
+                    );
+                }
+                Verdict::Drop => {}
+            }
         }
         if let Some(i) = shutdown_at {
             // Ack the shutdown itself; envelopes queued behind it are
             // dropped, so their clients observe a disconnect — the same
             // outcome as racing a shutdown in the unbatched loop.
-            let _ = batch[i].1.send(EdgeResponse::Ack.encode());
+            let _ = batch[i].reply.send(EdgeResponse::Ack.encode());
             break;
         }
+        // Drop the batch's envelopes now: a `Drop` verdict answers its
+        // banned client by closing the reply channel, which must not wait
+        // for the next wakeup.
+        batch.clear();
     }
-    edge
+    Ok(edge)
+}
+
+/// Serves one decoded batch, injecting any scheduled crash: requests
+/// before the kill point are served (mutating device state — the
+/// realistic partial-failure shape the checkpoint restore must undo),
+/// then the worker dies.
+fn serve_requests(
+    edge: &mut EdgeDevice,
+    requests: &[ClientRequest],
+    responses: &mut Vec<EdgeResponse>,
+    fault_plan: &mut FaultPlan,
+    served_before: u64,
+) {
+    match fault_plan.take(served_before, served_before + requests.len() as u64) {
+        None => edge.serve_batch(requests, responses),
+        Some(kill_at) => {
+            let prefix = (kill_at - served_before) as usize;
+            edge.serve_batch(&requests[..prefix], responses);
+            // lint:allow(panic-hygiene): the injected fault IS a panic — the supervisor's catch_unwind/restore path is what it exercises
+            panic!("injected fault: worker killed before request {kill_at}");
+        }
+    }
+}
+
+/// Decodes the committed checkpoint and swaps the restored device in.
+fn restore_checkpoint(
+    log: &Bytes,
+    config: SystemConfig,
+    edge: &mut EdgeDevice,
+) -> Result<(), crate::recovery::RecoveryError> {
+    let snapshot = DeviceSnapshot::decode(log)?;
+    *edge = EdgeDevice::restore(config, &snapshot)?;
+    Ok(())
+}
+
+/// Fails pending replies with an explicit error frame instead of leaving
+/// the clients hanging on dead channels.
+fn fail_replies(
+    envelopes: impl Iterator<Item = Envelope>,
+    restarts: u32,
+    health: &HealthCounters,
+) {
+    for envelope in envelopes {
+        health.failed_replies.fetch_add(1, Ordering::Relaxed);
+        let _ = envelope.reply.send(
+            EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail: restarts }.encode(),
+        );
+    }
+}
+
+/// Bounded, deterministic, wall-clock-free backoff between restarts:
+/// exponential in the restart count with seeded jitter, realized as
+/// cooperative yields so supervision is testable without real sleeps.
+fn backoff(rng: &mut StdRng, restarts: u32, options: &ServerOptions) {
+    let exp = restarts.saturating_sub(1).min(16);
+    let spins = options
+        .backoff_base
+        .saturating_mul(1 << exp)
+        .min(options.backoff_cap)
+        .saturating_add(rng.gen_range(0..options.backoff_base.max(1)));
+    for _ in 0..spins {
+        std::thread::yield_now();
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +744,10 @@ mod tests {
 
     fn spawn() -> (EdgeServer, EdgeHandle) {
         EdgeServer::spawn(SystemConfig::builder().build().unwrap(), 11)
+    }
+
+    fn spawn_with(options: ServerOptions) -> (EdgeServer, EdgeHandle) {
+        EdgeServer::spawn_with(SystemConfig::builder().build().unwrap(), 11, options)
     }
 
     #[test]
@@ -240,7 +762,7 @@ mod tests {
         let reported = handle.request_location(user, home).unwrap();
         assert_ne!(reported, home);
         handle.shutdown().unwrap();
-        let edge = server.join();
+        let edge = server.join().unwrap();
         assert_eq!(edge.user_count(), 1);
         assert!(edge.candidates(user, home).unwrap().contains(&reported));
     }
@@ -266,14 +788,14 @@ mod tests {
             assert!(h.join().unwrap().is_finite());
         }
         handle.shutdown().unwrap();
-        assert_eq!(server.join().user_count(), 6);
+        assert_eq!(server.join().unwrap().user_count(), 6);
     }
 
     #[test]
     fn handle_calls_after_shutdown_fail() {
         let (server, handle) = spawn();
         handle.shutdown().unwrap();
-        server.join();
+        server.join().unwrap();
         let err = handle.check_in(UserId::new(0), Point::ORIGIN, 0).unwrap_err();
         assert_eq!(err, TransportError::Disconnected);
     }
@@ -282,7 +804,7 @@ mod tests {
     fn dropping_all_handles_stops_the_loop() {
         let (server, handle) = spawn();
         drop(handle);
-        let edge = server.join();
+        let edge = server.join().unwrap();
         assert_eq!(edge.user_count(), 0);
     }
 
@@ -292,7 +814,234 @@ mod tests {
         let e = TransportError::Frame(FrameError::Empty);
         assert!(e.to_string().contains("frame error"));
         assert!(e.source().is_some());
-        assert!(TransportError::Disconnected.source().is_none());
-        assert!(!TransportError::UnexpectedResponse.to_string().is_empty());
+        for e in [
+            TransportError::Disconnected,
+            TransportError::UnexpectedResponse,
+            TransportError::Malformed { strikes_left: 3 },
+            TransportError::Overloaded,
+            TransportError::WorkerFailed { restarts: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_then_client_dropped() {
+        let (server, handle) = spawn_with(ServerOptions {
+            malformed_limit: 3,
+            ..ServerOptions::default()
+        });
+        let polluter = handle.clone();
+        // Strikes 1 and 2: explicit Malformed rejections with a countdown.
+        for strikes_left in [2u32, 1] {
+            let err = polluter.call_raw(vec![0xFF, 0x00, 0x01]).unwrap_err();
+            assert_eq!(err, TransportError::Malformed { strikes_left });
+        }
+        // Strike 3: the client is dropped; its reply channel just closes.
+        assert_eq!(
+            polluter.call_raw(vec![0xFF]).unwrap_err(),
+            TransportError::Disconnected
+        );
+        // And stays dropped even for well-formed frames.
+        assert_eq!(
+            polluter.check_in(UserId::new(0), Point::ORIGIN, 0).unwrap_err(),
+            TransportError::Disconnected
+        );
+        // The original handle (a different client id) is unaffected.
+        handle.check_in(UserId::new(0), Point::ORIGIN, 0).unwrap();
+        let health = server.health();
+        assert_eq!(health.malformed_frames, 3);
+        assert_eq!(health.dropped_clients, 1);
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn well_formed_frames_reset_the_strike_count() {
+        let (server, handle) = spawn_with(ServerOptions {
+            malformed_limit: 2,
+            ..ServerOptions::default()
+        });
+        for _ in 0..4 {
+            let err = handle.call_raw(vec![0xEE]).unwrap_err();
+            assert_eq!(err, TransportError::Malformed { strikes_left: 1 });
+            // A good frame in between resets the consecutive count.
+            handle.check_in(UserId::new(1), Point::ORIGIN, 0).unwrap();
+        }
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn supervisor_restarts_through_injected_faults() {
+        let (server, handle) = spawn_with(ServerOptions {
+            fault_plan: FaultPlan::kill_at([0, 3, 7]),
+            ..ServerOptions::default()
+        });
+        let user = UserId::new(2);
+        let home = Point::new(50.0, 50.0);
+        // Every call succeeds: the supervisor restores the checkpoint and
+        // retries the interrupted batch.
+        for t in 0..30 {
+            handle.check_in(user, home, t).unwrap();
+        }
+        assert_eq!(handle.finalize_window(user).unwrap(), 1);
+        let reported = handle.request_location(user, home).unwrap();
+        assert_eq!(server.health().restarts, 3);
+        assert!(server.health().checkpoints > 0);
+        handle.shutdown().unwrap();
+        let edge = server.join().unwrap();
+        assert!(edge.candidates(user, home).unwrap().contains(&reported));
+    }
+
+    #[test]
+    fn faulty_run_matches_fault_free_run_bit_for_bit() {
+        let drive = |fault_plan: FaultPlan| {
+            let (server, handle) = spawn_with(ServerOptions {
+                fault_plan,
+                ..ServerOptions::default()
+            });
+            let user = UserId::new(4);
+            let home = Point::new(75.0, -25.0);
+            for t in 0..25 {
+                handle.check_in(user, home, t).unwrap();
+            }
+            handle.finalize_window(user).unwrap();
+            let reports: Vec<Point> =
+                (0..10).map(|_| handle.request_location(user, home).unwrap()).collect();
+            handle.shutdown().unwrap();
+            server.join().unwrap();
+            reports
+        };
+        let faulty = drive(FaultPlan::kill_at([1, 5, 26, 30, 33]));
+        let clean = drive(FaultPlan::none());
+        assert_eq!(faulty, clean);
+    }
+
+    #[test]
+    fn worker_failing_past_restart_budget_fails_explicitly() {
+        // One kill point per served ordinal: every call crashes the worker
+        // once (the retry succeeds because the point is consumed), so the
+        // cumulative restart count walks through the budget.
+        let (server, handle) = spawn_with(ServerOptions {
+            fault_plan: FaultPlan::kill_at(0..10),
+            max_restarts: 2,
+            ..ServerOptions::default()
+        });
+        // Restarts 1 and 2 are within budget: the calls still succeed.
+        for t in 0..2 {
+            handle.check_in(UserId::new(0), Point::ORIGIN, t).unwrap();
+        }
+        // Restart 3 exceeds it: explicit failure, never a hang.
+        let err = handle.check_in(UserId::new(0), Point::ORIGIN, 2).unwrap_err();
+        assert_eq!(err, TransportError::WorkerFailed { restarts: 3 });
+        assert_eq!(server.join().unwrap_err(), SystemError::WorkerFailed { restarts: 3 });
+        // The loop has terminated; later calls observe a disconnect.
+        assert_eq!(
+            handle.check_in(UserId::new(0), Point::ORIGIN, 3).unwrap_err(),
+            TransportError::Disconnected
+        );
+    }
+
+    #[test]
+    fn poisoned_batch_fails_its_replies_and_worker_recovers() {
+        // Two kill points inside one batch: the retry dies too, so the
+        // supervisor fails the batch's replies explicitly and keeps the
+        // (restored) worker alive for later traffic. Queue the whole batch
+        // before running `serve` so it drains in a single wakeup.
+        let config = SystemConfig::builder().build().unwrap();
+        let (tx, rx) = sync_channel::<Envelope>(16);
+        let health = Arc::new(HealthCounters::default());
+        let mut replies = Vec::new();
+        for t in 0..4 {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let frame = ClientRequest::CheckIn {
+                user: UserId::new(1),
+                location: Point::ORIGIN,
+                timestamp: t,
+            }
+            .encode()
+            .to_vec();
+            health.queue_depth.fetch_add(1, Ordering::Relaxed);
+            tx.send(Envelope { client: 0, frame, reply: reply_tx }).unwrap();
+            replies.push(reply_rx);
+        }
+        drop(tx);
+        let options = ServerOptions {
+            fault_plan: FaultPlan::kill_at([0, 2]),
+            backoff_base: 1,
+            backoff_cap: 1,
+            ..ServerOptions::default()
+        };
+        let edge = serve(config, 7, rx, options, Arc::clone(&health)).unwrap();
+        for reply_rx in replies {
+            let frame = reply_rx.recv().unwrap();
+            assert_eq!(
+                EdgeResponse::decode(&frame).unwrap(),
+                EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail: 2 }
+            );
+        }
+        // The batch was dropped after the restore: no check-in survived.
+        assert_eq!(edge.user_count(), 0);
+        assert_eq!(health.restarts.load(Ordering::Relaxed), 2);
+        assert_eq!(health.failed_replies.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn overload_rejects_and_retry_budget_is_bounded() {
+        // Client-side path against a full queue: a capacity-1 channel with
+        // no consumer, its single slot occupied directly.
+        let (tx, _rx) = sync_channel::<Envelope>(1);
+        let health = Arc::new(HealthCounters::default());
+        let handle = EdgeHandle {
+            tx,
+            client: 0,
+            next_client: Arc::new(AtomicU64::new(1)),
+            health: Arc::clone(&health),
+        };
+        let (reply_tx, _parked) = sync_channel(1);
+        handle.tx.send(Envelope { client: 9, frame: Vec::new(), reply: reply_tx }).unwrap();
+        let err = handle.try_call(ClientRequest::Shutdown).unwrap_err();
+        assert_eq!(err, TransportError::Overloaded);
+        let policy = RetryPolicy { max_attempts: 3, backoff_base: 4, backoff_cap: 64 };
+        let err = handle.call_with_retry(ClientRequest::Shutdown, &policy).unwrap_err();
+        assert_eq!(err, TransportError::Overloaded);
+        assert_eq!(health.overload_rejections.load(Ordering::Relaxed), 4);
+        // Rejected sends roll their depth increment back; the only queued
+        // envelope went around the handle, so the depth reads zero.
+        assert_eq!(health.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn health_snapshot_counts_queue_depth() {
+        let (server, handle) = spawn();
+        handle.check_in(UserId::new(0), Point::ORIGIN, 0).unwrap();
+        let health = server.health();
+        assert_eq!(health.queue_depth, 0);
+        assert_eq!(health.restarts, 0);
+        assert!(health.checkpoints >= 1);
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_take_consumes_points_in_order() {
+        let mut plan = FaultPlan::kill_at([5, 2, 9, 2]);
+        assert_eq!(plan.remaining(), 3);
+        assert_eq!(plan.take(0, 3), Some(2));
+        assert_eq!(plan.take(0, 3), None);
+        assert_eq!(plan.take(4, 10), Some(5));
+        assert_eq!(plan.take(4, 10), Some(9));
+        assert_eq!(plan.remaining(), 0);
+        assert_eq!(FaultPlan::none(), FaultPlan::default());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let policy = RetryPolicy { max_attempts: 10, backoff_base: 8, backoff_cap: 100 };
+        assert_eq!(policy.spins(0), 8);
+        assert_eq!(policy.spins(1), 16);
+        assert_eq!(policy.spins(30), 100);
     }
 }

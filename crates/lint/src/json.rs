@@ -305,6 +305,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
             .and_then(Json::as_num)
             .ok_or(format!("runs[{i}] missing numeric key `wall_ms`"))?;
         validate_serve_row(i, name, run)?;
+        validate_chaos_row(i, name, run)?;
     }
     Ok(())
 }
@@ -337,6 +338,49 @@ fn validate_serve_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
         if v.fract() != 0.0 || v < 1.0 {
             return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
         }
+    }
+    Ok(())
+}
+
+/// Validates the chaos-harness rows appended by `bench chaos`: any run
+/// named `chaos/...` — and, symmetrically, any run that claims a
+/// `faults_injected` figure — must carry the full survival record
+/// (integral `faults_injected`, `requests_survived`, `restarts` ≥ 0,
+/// integral `threads` ≥ 1, and a finite `recovery_ns` ≥ 0), so
+/// fault-tolerance claims are never reported without how much abuse was
+/// injected and what recovering from it cost.
+fn validate_chaos_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    let is_chaos = name == "chaos" || name.starts_with("chaos/");
+    let has_faults = run.get("faults_injected").is_some();
+    if !is_chaos && !has_faults {
+        return Ok(());
+    }
+    for key in ["faults_injected", "requests_survived", "restarts"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 0.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 0)"));
+        }
+    }
+    let threads = run
+        .get("threads")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `threads`"))?;
+    // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+    if threads.fract() != 0.0 || threads < 1.0 {
+        return Err(format!(
+            "runs[{i}] (`{name}`) has invalid `threads` {threads} (want integer >= 1)"
+        ));
+    }
+    let recovery = run
+        .get("recovery_ns")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `recovery_ns`"))?;
+    if !recovery.is_finite() || recovery < 0.0 {
+        return Err(format!("runs[{i}] (`{name}`) has invalid `recovery_ns` {recovery}"));
     }
     Ok(())
 }
@@ -416,6 +460,46 @@ mod tests {
         let sneaky =
             report(r#"{"name": "other", "wall_ms": 1.0, "requests_per_sec": 5.0}"#);
         assert!(validate_bench_report(&sneaky).is_err());
+    }
+
+    #[test]
+    fn chaos_rows_require_the_full_survival_record() {
+        let report = |row: &str| {
+            format!(r#"{{"experiment": "chaos", "seed": 0, "threads": 2, "runs": [{row}]}}"#)
+        };
+        let good = report(
+            r#"{"name": "chaos/worker_kill/2", "wall_ms": 12.5, "faults_injected": 6,
+                "requests_survived": 232, "restarts": 6, "recovery_ns": 18400.5, "threads": 2}"#,
+        );
+        assert!(validate_bench_report(&good).is_ok());
+        // Zero faults (a clean flood run) is a legal record.
+        let calm = report(
+            r#"{"name": "chaos/flood/1", "wall_ms": 1.0, "faults_injected": 0,
+                "requests_survived": 64, "restarts": 0, "recovery_ns": 0, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&calm).is_ok());
+        // A chaos row missing any of its survival fields is rejected...
+        let missing = report(r#"{"name": "chaos/worker_kill/2", "wall_ms": 12.5}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("faults_injected"));
+        let no_recovery = report(
+            r#"{"name": "chaos/x", "wall_ms": 1.0, "faults_injected": 1,
+                "requests_survived": 9, "restarts": 1, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&no_recovery).unwrap_err().contains("recovery_ns"));
+        // ...as are fractional counts and negative costs.
+        let frac = report(
+            r#"{"name": "chaos/x", "wall_ms": 1.0, "faults_injected": 1.5,
+                "requests_survived": 9, "restarts": 1, "recovery_ns": 5, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&frac).is_err());
+        let negative = report(
+            r#"{"name": "chaos/x", "wall_ms": 1.0, "faults_injected": 1,
+                "requests_survived": 9, "restarts": 1, "recovery_ns": -2, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&negative).is_err());
+        // Any row claiming faults_injected needs the record, chaos-named or not.
+        let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "faults_injected": 3}"#);
+        assert!(validate_bench_report(&sneaky).unwrap_err().contains("requests_survived"));
     }
 
     #[test]

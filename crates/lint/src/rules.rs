@@ -63,6 +63,10 @@ pub const RULES: &[Rule] = &[
         summary: "no unwrap()/expect()/panic! in non-test library code of geo/mechanisms/attack/core",
     },
     Rule {
+        name: "channel-hygiene",
+        summary: "no unwrap()/expect() on channel send/recv in the core/bench serving paths",
+    },
+    Rule {
         name: "unsafe-audit",
         summary: "every unsafe block needs a preceding // SAFETY: comment; crate roots must forbid unsafe_code",
     },
@@ -146,6 +150,14 @@ const RESULT_PRODUCING: &[&str] =
 /// Crates whose library code must stay panic-free (typed errors only).
 const PANIC_FREE: &[&str] = &["geo", "mechanisms", "attack", "core"];
 
+/// Crates carrying the supervised serving paths: a channel peer dropping
+/// (client gone, worker restarting) is a *normal* event there, so a
+/// panicking channel call turns routine churn into a dead serving loop.
+const CHANNEL_SCOPE: &[&str] = &["core", "bench"];
+
+/// Channel-operation tokens the channel-hygiene rule guards.
+const CHANNEL_OPS: &[&str] = &["send(", "try_send(", "recv()", "try_recv()", "recv_timeout("];
+
 /// Crates where RNGs must be derived from a master seed.
 const SEED_DISCIPLINE: &[&str] = &["bench"];
 
@@ -210,6 +222,8 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
     let mut saw_forbid_unsafe = false;
 
     let panic_scope = ctx.crate_is(PANIC_FREE) && ctx.kind == FileKind::Lib;
+    let channel_scope =
+        ctx.crate_is(CHANNEL_SCOPE) && matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
     let order_scope =
         ctx.crate_is(RESULT_PRODUCING) && matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
     let float_scope = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
@@ -320,6 +334,20 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
                         format!("`{what}` in library code; return the crate's typed error or justify provable infallibility"),
                     );
                 }
+            }
+        }
+
+        if channel_scope && !in_test {
+            let channel_op = CHANNEL_OPS.iter().any(|op| find_token(code, op).is_some());
+            let panics = [".unwrap()", ".expect("]
+                .iter()
+                .any(|needle| find_token(code, needle).is_some());
+            if channel_op && panics {
+                push(
+                    line_no,
+                    "channel-hygiene",
+                    "`unwrap()`/`expect()` on a channel operation in a serving path; a dropped peer is routine — handle the `Err` branch or fail the reply explicitly".to_owned(),
+                );
             }
         }
 
@@ -521,6 +549,30 @@ mod tests {
         assert!(!rules_hit("crates/lint/src/x.rs", src).contains(&"order-stability"));
         let test_src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
         assert!(!rules_hit("crates/attack/src/x.rs", test_src).contains(&"order-stability"));
+    }
+
+    #[test]
+    fn channel_unwrap_fires_in_serving_crates_only() {
+        let src = "fn f(tx: Sender<u8>) { tx.send(1).unwrap(); }\n";
+        assert!(rules_hit("crates/core/src/server.rs", src).contains(&"channel-hygiene"));
+        assert!(rules_hit("crates/bench/src/bin/chaos.rs", src).contains(&"channel-hygiene"));
+        // Out of scope: non-serving crates and test code.
+        assert!(!rules_hit("crates/lint/src/x.rs", src).contains(&"channel-hygiene"));
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f(tx: Sender<u8>) { tx.send(1).unwrap(); }\n}\n";
+        assert!(!rules_hit("crates/core/src/server.rs", test_src).contains(&"channel-hygiene"));
+        // Handled channel results and non-channel expects stay quiet.
+        let handled = "fn f(tx: Sender<u8>) { let _ = tx.send(1); }\n";
+        assert!(!rules_hit("crates/core/src/server.rs", handled).contains(&"channel-hygiene"));
+        let unrelated = "fn f(x: Option<u8>) { x.expect(\"present\"); }\n";
+        assert!(!rules_hit("crates/bench/src/x.rs", unrelated).contains(&"channel-hygiene"));
+        // Every guarded channel op is covered.
+        for op in ["try_send(0)", "recv()", "try_recv()", "recv_timeout(d)"] {
+            let src = format!("fn f(c: C) {{ c.{op}.expect(\"peer alive\"); }}\n");
+            assert!(
+                rules_hit("crates/core/src/x.rs", &src).contains(&"channel-hygiene"),
+                "{op}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,5 @@
+// Positive fixture: panicking channel calls in a serving path.
+fn relay(tx: std::sync::mpsc::Sender<u8>, rx: std::sync::mpsc::Receiver<u8>) {
+    let value = rx.recv().unwrap();
+    tx.send(value).expect("client still listening");
+}

@@ -1,0 +1,6 @@
+// Suppressed fixture: a startup-only channel handshake where the peer
+// provably outlives the call.
+fn handshake(rx: std::sync::mpsc::Receiver<u8>) -> u8 {
+    // lint:allow(channel-hygiene): startup handshake — the sender is joined after this recv, so it cannot have dropped
+    rx.recv().expect("spawner holds the sender")
+}

@@ -147,6 +147,25 @@ fn panic_hygiene_fires_and_suppresses() {
 }
 
 #[test]
+fn channel_hygiene_fires_and_suppresses() {
+    let src = include_str!("fixtures/channel_hygiene.rs");
+    let findings = lint("crates/core/src/fx.rs", src);
+    assert_eq!(active(&findings, "channel-hygiene").len(), 2, "{findings:?}");
+
+    // Out of scope: the same code outside the serving crates.
+    let findings = lint("crates/lint/src/fx.rs", src);
+    assert!(active(&findings, "channel-hygiene").is_empty());
+
+    // The suppressed fixture lints at a bench path: bench is in the
+    // channel-hygiene scope but outside the panic-free set, so the one
+    // justified allow leaves the file fully quiet.
+    let findings =
+        lint("crates/bench/src/fx.rs", include_str!("fixtures/channel_hygiene_suppressed.rs"));
+    assert_quiet(&findings);
+    assert!(findings.iter().any(|f| f.rule == "channel-hygiene" && !f.is_active()));
+}
+
+#[test]
 fn unsafe_audit_fires_and_safety_comment_satisfies_it() {
     let findings =
         lint("crates/geo/src/fx.rs", include_str!("fixtures/unsafe_audit.rs"));

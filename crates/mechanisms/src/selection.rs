@@ -258,6 +258,30 @@ impl PosteriorTable {
         PosteriorTable { cdf }
     }
 
+    /// The cumulative weight entries, for checkpointing: a table rebuilt
+    /// with [`PosteriorTable::from_cdf`] from these exact values maps
+    /// every RNG draw to the same index bit-for-bit.
+    pub fn cdf(&self) -> &[f64] {
+        &self.cdf
+    }
+
+    /// Rebuilds a table from captured [`PosteriorTable::cdf`] entries.
+    ///
+    /// Returns `None` unless `cdf` is a valid cumulative weight table:
+    /// non-empty, finite, non-decreasing, with a positive total — the
+    /// invariants [`PosteriorTable::new`] guarantees and
+    /// [`PosteriorTable::draw`] relies on.
+    pub fn from_cdf(cdf: Vec<f64>) -> Option<Self> {
+        let last = *cdf.last()?;
+        if !(last.is_finite() && last > 0.0) {
+            return None;
+        }
+        if cdf.iter().any(|c| !c.is_finite()) || cdf.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(PosteriorTable { cdf })
+    }
+
     /// Number of candidates the table covers.
     pub fn len(&self) -> usize {
         self.cdf.len()
@@ -353,6 +377,22 @@ impl SelectionCache {
     /// The cached table for `top`, if one was built.
     pub fn get(&self, top: Point) -> Option<&PosteriorTable> {
         self.entries.iter().find(|(t, _)| *t == top).map(|(_, table)| table)
+    }
+
+    /// Iterates the cached `(top, table)` pairs in insertion order, for
+    /// checkpointing.
+    pub fn entries(&self) -> impl Iterator<Item = &(Point, PosteriorTable)> {
+        self.entries.iter()
+    }
+
+    /// Installs a restored table for `top`, replacing any existing entry
+    /// with that exact key — the checkpoint-restore counterpart of
+    /// [`SelectionCache::table_for`].
+    pub fn install(&mut self, top: Point, table: PosteriorTable) {
+        match self.entries.iter().position(|(t, _)| *t == top) {
+            Some(i) => self.entries[i].1 = table,
+            None => self.entries.push((top, table)),
+        }
     }
 
     /// The table for `top`, building and memoizing it from `candidates`
@@ -625,6 +665,47 @@ mod tests {
             let freq = counts[i] as f64 / trials as f64;
             assert!((freq - probs[i]).abs() < 0.01, "i={i} freq={freq} prob={}", probs[i]);
         }
+    }
+
+    #[test]
+    fn table_cdf_round_trips_bit_for_bit() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(400.0, 0.0), Point::new(0.0, 900.0)];
+        let table = sel.table(&cands);
+        let restored = PosteriorTable::from_cdf(table.cdf().to_vec()).unwrap();
+        assert_eq!(restored, table);
+        for seed in 0..32 {
+            assert_eq!(restored.draw(&mut seeded(seed)), table.draw(&mut seeded(seed)));
+        }
+    }
+
+    #[test]
+    fn from_cdf_rejects_invalid_tables() {
+        assert!(PosteriorTable::from_cdf(vec![]).is_none());
+        assert!(PosteriorTable::from_cdf(vec![0.0]).is_none());
+        assert!(PosteriorTable::from_cdf(vec![1.0, f64::NAN]).is_none());
+        assert!(PosteriorTable::from_cdf(vec![1.0, f64::INFINITY]).is_none());
+        assert!(PosteriorTable::from_cdf(vec![2.0, 1.0]).is_none());
+        assert!(PosteriorTable::from_cdf(vec![1.0, 1.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn cache_entries_and_install_round_trip() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let mut cache = SelectionCache::new();
+        cache.table_for(Point::new(1.0, 1.0), &sel, &cands);
+        cache.table_for(Point::new(9_000.0, 0.0), &sel, &cands);
+        let mut restored = SelectionCache::new();
+        for (top, table) in cache.entries() {
+            restored.install(*top, table.clone());
+        }
+        assert_eq!(restored, cache);
+        // Install replaces on key collision rather than duplicating.
+        let replacement = PosteriorTable::from_cdf(vec![1.0]).unwrap();
+        restored.install(Point::new(1.0, 1.0), replacement.clone());
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(Point::new(1.0, 1.0)), Some(&replacement));
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     handle.shutdown()?;
-    let edge = server.join();
+    let edge = server.join()?;
     println!("edge served {} users and shut down cleanly", edge.user_count());
     Ok(())
 }

@@ -40,4 +40,19 @@ grep -q 'serve/shared_batched/16x2' "$smoke_dir/BENCH_serve.json"
 grep -q 'requests_per_sec' "$smoke_dir/BENCH_serve.json"
 grep -q 'batched+cached vs legacy single-request path' "$smoke_dir/serve.out"
 
+echo "==> bench chaos (smoke, reduced sizes)"
+# Shape/survival only — the harness itself asserts the hard contract
+# (bit-for-bit replay equality, zero candidate re-draws); a non-zero exit
+# here means a fault schedule broke the serving path.
+./target/release/chaos \
+    --users 4 --checkins 8 --requests 4 --kills 2 --corruptions 4 --threads 2 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_chaos.json" >"$smoke_dir/chaos.out"
+./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/corruption/1' "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/worker_kill/2' "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/mid_window_restart/2' "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/flood/2' "$smoke_dir/BENCH_chaos.json"
+grep -q 'recovery_ns' "$smoke_dir/BENCH_chaos.json"
+grep -q 'survival contract held' "$smoke_dir/chaos.out"
+
 echo "OK"
