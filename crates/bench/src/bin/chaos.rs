@@ -106,6 +106,17 @@ fn merge_log(existing: Option<&str>, opts: &Options, rows: &[ChaosRow]) -> Resul
         !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("chaos/"))
     });
     runs.extend(rows.iter().map(row_to_json));
+    // Publish each scenario hub (metrics + privacy-budget ledger) under the
+    // top-level `telemetry` section, keyed by row name, replacing any stale
+    // `chaos/...` entries the same way the rows themselves are replaced.
+    let telemetry = obj.entry("telemetry".to_owned()).or_insert_with(|| Json::Obj(BTreeMap::new()));
+    let Json::Obj(sections) = telemetry else {
+        return Err("benchmark log `telemetry` is not an object".to_owned());
+    };
+    sections.retain(|name, _| !name.starts_with("chaos/"));
+    for row in rows {
+        sections.insert(row.name.clone(), parse(&row.telemetry.to_json())?);
+    }
     Ok(doc)
 }
 
@@ -137,6 +148,8 @@ fn main() -> ExitCode {
         "\nsurvival contract held: {survived} requests served correctly under \
          {faults} injected faults, zero candidate re-draws"
     );
+    let spends: u64 = out.rows.iter().map(|r| r.telemetry.ledger().totals().candidate_sets).sum();
+    println!("privacy ledger audit: {spends} candidate-set spends recorded, zero double-spends");
     if let Err(e) = write_log(&opts, &out.rows) {
         eprintln!("[bench] {e}");
         return ExitCode::FAILURE;
@@ -153,6 +166,8 @@ mod tests {
     }
 
     fn row(name: &str) -> ChaosRow {
+        let telemetry = privlocad_telemetry::Telemetry::new();
+        telemetry.ledger().record_candidate_set(1, privlocad_telemetry::top_key(1.0, 2.0), 1.0, 1e-4, 10);
         ChaosRow {
             name: name.to_owned(),
             wall_ms: 12.5,
@@ -161,6 +176,7 @@ mod tests {
             restarts: 3,
             recovery_ns: 18_400.0,
             threads: 2,
+            telemetry,
         }
     }
 
@@ -189,7 +205,14 @@ mod tests {
             {"name": "fig9", "wall_ms": 80.0, "threads": 2},
             {"name": "chaos/flood/2", "wall_ms": 1.0, "faults_injected": 4,
              "requests_survived": 100, "restarts": 0, "recovery_ns": 0, "threads": 2}
-        ]}"#;
+        ], "telemetry": {
+            "serve": {"counters": {"edge.checkins": 3}, "gauges": {}, "histograms": {},
+                      "ledger": {"users": 1, "epsilon_total": 1.0, "delta_total": 0.0001,
+                                 "candidate_sets": 1, "window_closes": 1, "per_user": {}}},
+            "chaos/flood/2": {"counters": {}, "gauges": {}, "histograms": {},
+                              "ledger": {"users": 0, "epsilon_total": 0, "delta_total": 0,
+                                         "candidate_sets": 0, "window_closes": 0, "per_user": {}}}
+        }}"#;
         let doc = merge_log(Some(existing), &opts, &[row("chaos/worker_kill/2")]).unwrap();
         let runs = match doc.get("runs") {
             Some(Json::Arr(runs)) => runs,
@@ -198,6 +221,13 @@ mod tests {
         let names: Vec<_> =
             runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
         assert_eq!(names, ["fig9", "chaos/worker_kill/2"]);
+        // Telemetry sections follow the rows: stale chaos/ hubs are dropped,
+        // the new scenario hub lands keyed by row name, foreign sections stay.
+        let telemetry = doc.get("telemetry").expect("telemetry section");
+        assert!(telemetry.get("chaos/flood/2").is_none());
+        assert!(telemetry.get("serve").is_some());
+        let hub = telemetry.get("chaos/worker_kill/2").expect("new scenario hub");
+        assert!(hub.get("ledger").is_some());
         validate_bench_report(&render(&doc)).expect("merged log must validate");
     }
 

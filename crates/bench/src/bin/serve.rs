@@ -73,8 +73,14 @@ fn row_to_json(row: &ServeRow) -> Json {
 }
 
 /// Loads the benchmark log (or starts a fresh one), drops any stale
-/// `serve/...` rows, appends the new rows, and returns the merged document.
-fn merge_log(existing: Option<&str>, opts: &Options, rows: &[ServeRow]) -> Result<Json, String> {
+/// `serve/...` rows, appends the new rows plus the serving-path telemetry
+/// hub (rendered by the deterministic pass), and returns the merged document.
+fn merge_log(
+    existing: Option<&str>,
+    opts: &Options,
+    rows: &[ServeRow],
+    telemetry_json: &str,
+) -> Result<Json, String> {
     let mut doc = match existing {
         Some(text) => parse(text)?,
         None => {
@@ -96,12 +102,19 @@ fn merge_log(existing: Option<&str>, opts: &Options, rows: &[ServeRow]) -> Resul
         !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("serve/"))
     });
     runs.extend(rows.iter().map(row_to_json));
+    // Publish the serving-path hub (metrics + privacy-budget ledger) under
+    // the top-level `telemetry` section, replacing any stale `serve` entry.
+    let telemetry = obj.entry("telemetry".to_owned()).or_insert_with(|| Json::Obj(BTreeMap::new()));
+    let Json::Obj(sections) = telemetry else {
+        return Err("benchmark log `telemetry` is not an object".to_owned());
+    };
+    sections.insert("serve".to_owned(), parse(telemetry_json)?);
     Ok(doc)
 }
 
-fn write_log(opts: &Options, rows: &[ServeRow]) -> Result<(), String> {
+fn write_log(opts: &Options, rows: &[ServeRow], telemetry_json: &str) -> Result<(), String> {
     let existing = std::fs::read_to_string(&opts.bench_json).ok();
-    let doc = merge_log(existing.as_deref(), opts, rows)?;
+    let doc = merge_log(existing.as_deref(), opts, rows, telemetry_json)?;
     let text = render(&doc);
     validate_bench_report(&text)?;
     std::fs::write(&opts.bench_json, &text)
@@ -127,7 +140,11 @@ fn main() -> ExitCode {
              (acceptance floor: 5x)"
         );
     }
-    if let Err(e) = write_log(&opts, &out.rows) {
+    let snapshot = out.telemetry.registry().snapshot();
+    let hits = snapshot.counter("edge.posterior_cache_hits").unwrap_or(0);
+    let misses = snapshot.counter("edge.posterior_cache_misses").unwrap_or(0);
+    println!("telemetry: posterior cache {hits} hits / {misses} misses over the serving profile");
+    if let Err(e) = write_log(&opts, &out.rows, &out.telemetry.to_json()) {
         eprintln!("[bench] {e}");
         return ExitCode::FAILURE;
     }
@@ -177,7 +194,13 @@ mod tests {
             {"name": "serve/legacy_single", "wall_ms": 9.9, "requests_per_sec": 1.0,
              "batch": 1, "threads": 1}
         ]}"#;
-        let doc = merge_log(Some(existing), &opts, &[row("serve/batched_cached/64")]).unwrap();
+        let hub = privlocad_telemetry::Telemetry::new();
+        hub.registry()
+            .counter("edge.checkins", privlocad_telemetry::Determinism::Deterministic)
+            .add(7);
+        let doc =
+            merge_log(Some(existing), &opts, &[row("serve/batched_cached/64")], &hub.to_json())
+                .unwrap();
         let runs = match doc.get("runs") {
             Some(Json::Arr(runs)) => runs,
             other => panic!("runs missing: {other:?}"),
@@ -185,13 +208,19 @@ mod tests {
         let names: Vec<_> =
             runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
         assert_eq!(names, ["fig9", "serve/batched_cached/64"]);
+        let section = doc.get("telemetry").and_then(|t| t.get("serve")).expect("serve hub");
+        assert_eq!(
+            section.get("counters").and_then(|c| c.get("edge.checkins")).and_then(Json::as_num),
+            Some(7.0)
+        );
         validate_bench_report(&render(&doc)).expect("merged log must validate");
     }
 
     #[test]
     fn fresh_log_carries_the_required_header() {
         let opts = parse_args(&args("--seed 5 --threads 3")).unwrap();
-        let doc = merge_log(None, &opts, &[row("serve/single_cached")]).unwrap();
+        let hub = privlocad_telemetry::Telemetry::new();
+        let doc = merge_log(None, &opts, &[row("serve/single_cached")], &hub.to_json()).unwrap();
         validate_bench_report(&render(&doc)).expect("fresh log must validate");
     }
 }

@@ -40,6 +40,7 @@ use privlocad::{
 use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
+use privlocad_telemetry::{top_key, Telemetry, TopKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -97,6 +98,12 @@ pub struct ChaosRow {
     pub recovery_ns: f64,
     /// Shard servers the fleet was partitioned across.
     pub threads: usize,
+    /// The scenario's telemetry hub, shared by its faulty shard servers
+    /// (the fault-free replay servers publish elsewhere — same seeds would
+    /// double-record every budget spend). Already audited: the run asserts
+    /// [`privlocad_telemetry::Ledger::assert_no_double_spend`] against the
+    /// union of the final shard snapshots before returning.
+    pub telemetry: Telemetry,
 }
 
 /// The full chaos-harness result.
@@ -149,11 +156,16 @@ impl FaultMix {
 }
 
 /// What one shard reports back after its faulty run + fault-free replay.
-struct ShardStats {
+/// Restart counts are *not* here: the shards share one scenario hub, so
+/// restarts are read once, hub-wide, from the `server.restarts` counter.
+struct ShardReport {
     faults: u64,
+    kills: u64,
     survived: u64,
-    restarts: u64,
     recovery_ns: f64,
+    /// Every `(user, top)` with a released candidate set in the shard's
+    /// final snapshot — the live-set input to the scenario's ledger audit.
+    released: Vec<(u64, TopKey)>,
 }
 
 /// The same deterministic home grid the serving benchmark uses.
@@ -233,7 +245,13 @@ fn kill_schedule(
 /// injecting `mix`, then replays the identical stream on a fault-free
 /// server and asserts byte-identical responses, byte-identical final
 /// snapshots, and zero candidate re-draws.
-fn drive_shard(config: &Config, mix: FaultMix, shard: usize, shards: usize) -> ShardStats {
+fn drive_shard(
+    config: &Config,
+    mix: FaultMix,
+    shard: usize,
+    shards: usize,
+    hub: &Telemetry,
+) -> ShardReport {
     let sys = SystemConfig::builder().build().expect("default config is valid");
     let shard_seed = derive_seed(config.seed, 0xc4a0_5000 + shard as u64);
     let users: Vec<usize> = (shard..config.users).step_by(shards).collect();
@@ -243,7 +261,7 @@ fn drive_shard(config: &Config, mix: FaultMix, shard: usize, shards: usize) -> S
     let (server, handle) = EdgeServer::spawn_with(
         sys,
         shard_seed,
-        ServerOptions { fault_plan: plan, ..ServerOptions::default() },
+        ServerOptions { fault_plan: plan, telemetry: hub.clone(), ..ServerOptions::default() },
     );
 
     let corruptions = if mix == FaultMix::Corruption { config.corruptions } else { 0 };
@@ -319,12 +337,15 @@ fn drive_shard(config: &Config, mix: FaultMix, shard: usize, shards: usize) -> S
     }
 
     handle.shutdown().expect("faulty server must still shut down cleanly");
-    let health = server.health();
     let faulty = server.join().expect("supervised worker must survive its schedule");
     let faulty_snap = faulty.snapshot();
-    assert_eq!(health.restarts, kills, "every injected kill is exactly one restart");
+    // (The kill-equals-restart check moved to the scenario level: health
+    // counters are hub-wide now that the shards share one hub.)
 
-    // Fault-free replay of the identical valid stream, same seed.
+    // Fault-free replay of the identical valid stream, same seed. The
+    // replay server gets a *private* hub: with identical seeds it re-draws
+    // every candidate set, which a shared ledger would read as a double
+    // spend.
     let (clean_server, clean_handle) =
         EdgeServer::spawn_with(sys, shard_seed, ServerOptions::default());
     for (request_frame, response_frame) in &transcript {
@@ -364,26 +385,55 @@ fn drive_shard(config: &Config, mix: FaultMix, shard: usize, shards: usize) -> S
         recovery_ns = recovery_ns.min(elapsed.max(1.0));
     }
 
-    ShardStats { faults, survived: transcript.len() as u64, restarts: health.restarts, recovery_ns }
+    let released = faulty_snap
+        .released_sets()
+        .expect("final snapshot decodes")
+        .into_iter()
+        .map(|(user, top)| (u64::from(user.raw()), top_key(top.x, top.y)))
+        .collect();
+    ShardReport { faults, kills, survived: transcript.len() as u64, recovery_ns, released }
 }
 
-/// Runs one replayable fault family at one shard count.
+/// Runs one replayable fault family at one shard count: the shards share
+/// one telemetry hub, and the scenario closes with two hub-level checks —
+/// every injected kill was exactly one supervised restart, and the
+/// privacy-budget ledger audits clean against the union of the final
+/// shard snapshots (no double spend, no unledgered release).
 fn replayed_scenario(config: &Config, mix: FaultMix, shards: usize) -> ChaosRow {
     let start = Instant::now();
-    let stats: Vec<ShardStats> = std::thread::scope(|scope| {
+    let hub = Telemetry::new();
+    let reports: Vec<ShardReport> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..shards)
-            .map(|shard| scope.spawn(move || drive_shard(config, mix, shard, shards)))
+            .map(|shard| {
+                let hub = &hub;
+                scope.spawn(move || drive_shard(config, mix, shard, shards, hub))
+            })
             .collect();
         workers.into_iter().map(|w| w.join().expect("shard thread")).collect()
     });
+
+    let kills: u64 = reports.iter().map(|r| r.kills).sum();
+    let restarts = hub
+        .registry()
+        .snapshot()
+        .counter("server.restarts")
+        .expect("shared hub carries the restart counter");
+    assert_eq!(restarts, kills, "every injected kill is exactly one supervised restart");
+    let live: Vec<(u64, TopKey)> =
+        reports.iter().flat_map(|r| r.released.iter().copied()).collect();
+    hub.ledger()
+        .assert_no_double_spend(live)
+        .expect("a crash-restore cycle double-spent (or failed to ledger) a privacy budget");
+
     ChaosRow {
         name: format!("chaos/{}/{shards}", mix.label()),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        faults_injected: stats.iter().map(|s| s.faults).sum(),
-        requests_survived: stats.iter().map(|s| s.survived).sum(),
-        restarts: stats.iter().map(|s| s.restarts).sum(),
-        recovery_ns: stats.iter().map(|s| s.recovery_ns).fold(f64::INFINITY, f64::min),
+        faults_injected: reports.iter().map(|r| r.faults).sum(),
+        requests_survived: reports.iter().map(|r| r.survived).sum(),
+        restarts,
+        recovery_ns: reports.iter().map(|r| r.recovery_ns).fold(f64::INFINITY, f64::min),
         threads: shards,
+        telemetry: hub,
     }
 }
 
@@ -395,10 +445,11 @@ fn flood_scenario(config: &Config, shards: usize) -> ChaosRow {
     let start = Instant::now();
     let sys = SystemConfig::builder().build().expect("default config is valid");
     let seed = derive_seed(config.seed, 0xf100d + shards as u64);
+    let hub = Telemetry::new();
     let (server, handle) = EdgeServer::spawn_with(
         sys,
         seed,
-        ServerOptions { queue_capacity: 2, ..ServerOptions::default() },
+        ServerOptions { queue_capacity: 2, telemetry: hub.clone(), ..ServerOptions::default() },
     );
 
     let clients = (shards * 2).max(2);
@@ -455,6 +506,7 @@ fn flood_scenario(config: &Config, shards: usize) -> ChaosRow {
         restarts: health.restarts,
         recovery_ns: 0.0,
         threads: shards,
+        telemetry: hub,
     }
 }
 
@@ -521,6 +573,24 @@ mod tests {
                 assert!(row.restarts > 0, "{}", row.name);
                 assert_eq!(row.restarts, row.faults_injected, "{}", row.name);
             }
+            // Every scenario carries an audited hub whose serving counters
+            // agree with the row.
+            let metrics = row.telemetry.registry().snapshot();
+            if !row.name.starts_with("chaos/flood") {
+                assert_eq!(
+                    metrics.counter("server.requests"),
+                    Some(ops),
+                    "{}: hub request counter",
+                    row.name
+                );
+                assert_eq!(
+                    row.telemetry.ledger().totals().candidate_sets,
+                    config.users as u64,
+                    "{}: one budget spend per user",
+                    row.name
+                );
+            }
+            assert_eq!(metrics.counter("server.restarts"), Some(row.restarts), "{}", row.name);
         }
         assert_eq!(out.table().len(), 8);
     }

@@ -34,6 +34,7 @@ use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use privlocad_mechanisms::{NFoldGaussian, PosteriorSelector, SelectionStrategy};
 use privlocad_mobility::UserId;
+use privlocad_telemetry::Telemetry;
 
 use crate::microbench::Runner;
 use crate::report::Table;
@@ -83,6 +84,12 @@ pub struct ServeRow {
 pub struct Outcome {
     /// One row per stage, in execution order.
     pub rows: Vec<ServeRow>,
+    /// The deterministic serving profile of the benchmark workload: one
+    /// untimed pass of the full request stream through a fresh settled
+    /// device, drained into this hub (edge counters + privacy-budget
+    /// ledger). Exported next to the BENCH rows — see
+    /// [`Telemetry::to_json`].
+    pub telemetry: Telemetry,
 }
 
 impl Outcome {
@@ -134,6 +141,25 @@ fn settled_edge(config: &Config) -> EdgeDevice {
         edge.finalize_window(user);
     }
     edge
+}
+
+/// One untimed pass of the full request stream through a fresh settled
+/// device, drained into a telemetry hub. Runs outside the measured
+/// iterations so the serving profile comes for free, and deterministically:
+/// the hub's [`Telemetry::deterministic_json`] is a pure function of the
+/// benchmark config.
+fn telemetry_pass(config: &Config, frames: &[Vec<u8>]) -> Telemetry {
+    let telemetry = Telemetry::new();
+    let mut edge = settled_edge(config);
+    let mut responses = Vec::new();
+    let decoded: Vec<ClientRequest> =
+        frames.iter().map(|f| ClientRequest::decode(f).expect("valid frame")).collect();
+    for chunk in decoded.chunks(config.batch.max(1)) {
+        responses.clear();
+        edge.serve_batch(chunk, &mut responses);
+    }
+    edge.drain_telemetry(&telemetry);
+    telemetry
 }
 
 /// The request stream as encoded protocol frames: `requests` ad requests,
@@ -314,7 +340,7 @@ pub fn run(config: &Config) -> Outcome {
             }
         })
         .collect();
-    Outcome { rows }
+    Outcome { rows, telemetry: telemetry_pass(config, &frames) }
 }
 
 #[cfg(test)]
@@ -337,5 +363,27 @@ mod tests {
         assert!(out.batched_speedup().unwrap() > 0.0);
         let table = out.table();
         assert_eq!(table.len(), 4);
+
+        // The untimed telemetry pass profiles the exact workload: every
+        // request is a posterior cache hit, and the ledger holds one
+        // budget spend per settled user.
+        let metrics = out.telemetry.registry().snapshot();
+        assert_eq!(metrics.counter("edge.location_requests"), Some(config.requests as u64));
+        assert_eq!(metrics.counter("edge.posterior_cache_hits"), Some(config.requests as u64));
+        assert_eq!(metrics.counter("edge.posterior_cache_misses"), Some(0));
+        assert_eq!(
+            out.telemetry.ledger().totals().candidate_sets,
+            config.users as u64
+        );
+    }
+
+    #[test]
+    fn telemetry_pass_is_deterministic() {
+        let config = Config { users: 3, requests: 96, batch: 8, seed: 21, threads: 1 };
+        let frames = request_frames(&config);
+        let a = telemetry_pass(&config, &frames).deterministic_json();
+        let b = telemetry_pass(&config, &frames).deterministic_json();
+        assert_eq!(a, b);
+        assert!(a.contains("edge.location_requests"));
     }
 }

@@ -1,0 +1,133 @@
+//! The telemetry subsystem's shard-count-invariance contract, end to end:
+//! a fleet of supervised [`EdgeServer`]s sharing one hub must publish a
+//! **byte-identical** deterministic snapshot whether the user population
+//! is served by one shard or several — on the clean serving path and
+//! under injected worker crashes — and the privacy-budget ledger must
+//! audit exactly-once against the candidate sets actually released in
+//! the final device checkpoints.
+//!
+//! Kill schedules are user-local (one crash mid check-in phase per user),
+//! so the total fault count is the same at every shard count; restart
+//! totals therefore stay inside the deterministic export too.
+
+use privlocad::protocol::ClientRequest;
+use privlocad::{EdgeServer, FaultPlan, ServerOptions, SystemConfig};
+use privlocad_geo::rng::derive_seed;
+use privlocad_geo::Point;
+use privlocad_mobility::UserId;
+use privlocad_telemetry::{top_key, Telemetry, TopKey};
+
+const USERS: usize = 6;
+const CHECKINS: usize = 8;
+const REQUESTS: usize = 5;
+const MASTER_SEED: u64 = 23;
+
+/// The same deterministic home grid the bench harnesses use.
+fn home_of(user: usize) -> Point {
+    Point::new((user % 100) as f64 * 2_000.0, (user / 100) as f64 * 2_000.0)
+}
+
+/// Drives the full workload through `shards` supervised servers sharing
+/// one telemetry hub, users partitioned round-robin, per-shard seeds
+/// derived from the master. With `kills`, every user's stream takes one
+/// injected worker crash in the middle of its check-in phase. Returns
+/// the shared hub and the union of released candidate sets decoded from
+/// the final shard checkpoints (the live-set input to the ledger audit).
+fn run_fleet(shards: usize, kills: bool) -> (Telemetry, Vec<(u64, TopKey)>) {
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let hub = Telemetry::new();
+    let mut released = Vec::new();
+    let ops_per_user = (CHECKINS + 1 + REQUESTS) as u64;
+    for shard in 0..shards {
+        let users: Vec<usize> = (shard..USERS).step_by(shards).collect();
+        // User-local kill ordinals: the shard serves its users one after
+        // another, so ordinal `k * ops_per_user + CHECKINS / 2` is always
+        // the k-th user's mid-check-in point, however many shards exist.
+        let schedule: Vec<u64> = if kills {
+            (0..users.len()).map(|k| k as u64 * ops_per_user + CHECKINS as u64 / 2).collect()
+        } else {
+            Vec::new()
+        };
+        let shard_seed = derive_seed(MASTER_SEED, 0x7e1e_0000 + shard as u64);
+        let (server, handle) = EdgeServer::spawn_with(
+            sys,
+            shard_seed,
+            ServerOptions {
+                fault_plan: FaultPlan::kill_at(schedule),
+                telemetry: hub.clone(),
+                ..ServerOptions::default()
+            },
+        );
+        for &u in &users {
+            let user = UserId::new(u as u32);
+            let home = home_of(u);
+            for t in 0..CHECKINS {
+                handle
+                    .call(ClientRequest::CheckIn { user, location: home, timestamp: t as i64 })
+                    .expect("check-in must survive the schedule");
+            }
+            handle.call(ClientRequest::FinalizeWindow { user }).expect("window close survives");
+            for _ in 0..REQUESTS {
+                handle
+                    .call(ClientRequest::RequestLocation { user, location: home })
+                    .expect("location request survives");
+            }
+        }
+        handle.shutdown().expect("clean shutdown");
+        let device = server.join().expect("supervised worker must survive its schedule");
+        let snapshot = device.snapshot();
+        for (user, top) in snapshot.released_sets().expect("final checkpoint is well-formed") {
+            released.push((u64::from(user.raw()), top_key(top.x, top.y)));
+        }
+    }
+    (hub, released)
+}
+
+#[test]
+fn deterministic_snapshot_is_shard_count_invariant_on_the_serve_path() {
+    let (one, released_one) = run_fleet(1, false);
+    let (three, released_three) = run_fleet(3, false);
+    let json = one.deterministic_json();
+    assert_eq!(json, three.deterministic_json(), "sharding leaked into the deterministic export");
+    // The export carries the exact workload shape…
+    let checkins = (USERS * CHECKINS) as u64;
+    let requests = (USERS * (CHECKINS + 1 + REQUESTS)) as u64;
+    assert!(json.contains(&format!("\"edge.checkins\": {checkins}")), "{json}");
+    assert!(json.contains(&format!("\"server.requests\": {requests}")), "{json}");
+    assert!(json.contains("\"server.restarts\": 0"), "{json}");
+    // …and both fleets' budget ledgers audit exactly-once against the
+    // candidate sets actually live in the final checkpoints.
+    assert_eq!(released_one.len(), USERS, "one permanent set per user");
+    one.ledger().assert_no_double_spend(released_one).expect("1-shard ledger audits clean");
+    three.ledger().assert_no_double_spend(released_three).expect("3-shard ledger audits clean");
+    assert_eq!(one.ledger().totals().candidate_sets, USERS as u64);
+}
+
+#[test]
+fn deterministic_snapshot_is_shard_count_invariant_under_kills() {
+    let (one, released_one) = run_fleet(1, true);
+    let (two, released_two) = run_fleet(2, true);
+    let json = one.deterministic_json();
+    assert_eq!(json, two.deterministic_json(), "crash recovery leaked into the export");
+    // Every user's stream really was killed once, at every shard count,
+    // and the restarts are part of the deterministic export.
+    assert!(json.contains(&format!("\"server.restarts\": {USERS}")), "{json}");
+    // Crash-restore cycles never double-charge the budget: the ledger
+    // still audits exactly-once against the released sets.
+    one.ledger().assert_no_double_spend(released_one).expect("killed 1-shard ledger audits clean");
+    two.ledger().assert_no_double_spend(released_two).expect("killed 2-shard ledger audits clean");
+    assert_eq!(one.ledger().totals().candidate_sets, USERS as u64);
+}
+
+#[test]
+fn injected_crashes_do_not_perturb_the_deterministic_ledger() {
+    // The ledger section of the deterministic export is identical with
+    // and without the kill schedule — recovery replays spends exactly
+    // once. (Counters differ by design: restarts count the kills.)
+    let (clean, _) = run_fleet(1, false);
+    let (killed, _) = run_fleet(1, true);
+    let ledger_of = |json: &str| {
+        json.split_once("\"ledger\": ").map(|(_, tail)| tail.to_owned()).expect("ledger section")
+    };
+    assert_eq!(ledger_of(&clean.deterministic_json()), ledger_of(&killed.deterministic_json()));
+}

@@ -8,7 +8,7 @@ use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 
 use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
-use crate::user::{UserMap, UserState};
+use crate::user::{RequestStats, UserMap, UserState};
 use crate::SystemConfig;
 
 /// A thread-shared edge device: many mobile clients (threads) report
@@ -61,6 +61,7 @@ impl SharedEdgeDevice {
             config,
             users: RwLock::new(UserMap::new()),
             seed,
+            // lint:allow(telemetry-hygiene): per-op seed-derivation cursor, not a metric — never exported
             op_counter: AtomicU64::new(0),
         }
     }
@@ -156,7 +157,11 @@ impl SharedEdgeDevice {
     ) -> Point {
         let slot = self.slot(user);
         let mut state = slot.lock();
-        state.reported_location(&self.config, &self.nomadic, current_true, &mut rng)
+        // The shared device is exercised by the scalability harness, not
+        // the telemetry-instrumented serving loop — observations are
+        // discarded here.
+        let mut stats = RequestStats::default();
+        state.reported_location(&self.config, &self.nomadic, current_true, &mut rng, &mut stats)
     }
 
     /// Captures a recovery checkpoint: every user's state plus the
@@ -226,8 +231,15 @@ impl SharedEdgeDevice {
         let slot = self.slot(user);
         let mut state = slot.lock();
         out.reserve(positions.len());
+        let mut stats = RequestStats::default();
         for &current_true in positions {
-            out.push(state.reported_location(&self.config, &self.nomadic, current_true, &mut rng));
+            out.push(state.reported_location(
+                &self.config,
+                &self.nomadic,
+                current_true,
+                &mut rng,
+                &mut stats,
+            ));
         }
     }
 }

@@ -5,9 +5,11 @@ use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 use rand::rngs::StdRng;
 
+use privlocad_telemetry::{top_key, Determinism, SpendEvent, SpendKind, Telemetry};
+
 use crate::protocol::{ClientRequest, EdgeResponse};
 use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
-use crate::user::{UserMap, UserState};
+use crate::user::{RequestStats, UserMap, UserState};
 use crate::{filter_ads_by, SystemConfig};
 
 /// What the edge hands back to the mobile device for one ad request.
@@ -21,6 +23,73 @@ pub struct AdDelivery {
     /// Ads that survived the edge's AOI filter — what the user actually
     /// sees.
     pub delivered: Vec<Campaign>,
+}
+
+/// Serving observations accumulated by an [`EdgeDevice`] since its last
+/// [`EdgeDevice::drain_telemetry`] call.
+///
+/// Every field is a pure function of the construction seed and the served
+/// workload, so after a full drain the exported counters are bit-for-bit
+/// reproducible across runs and shard layouts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// True-location check-ins recorded into profile windows.
+    pub checkins: u64,
+    /// Ad-request location reports produced.
+    pub location_requests: u64,
+    /// Profile windows closed (full finalizations and profile-only closes).
+    pub windows_closed: u64,
+    /// Permanent candidate sets generated — each one a `(r, ε, δ, n)`
+    /// budget spend mirrored as a [`SpendKind::CandidateSet`] ledger event.
+    pub fresh_candidate_sets: u64,
+    /// Posterior-table lookups answered from the selection cache.
+    pub posterior_cache_hits: u64,
+    /// Posterior-table lookups that rebuilt the table.
+    pub posterior_cache_misses: u64,
+    /// Reports drawn by posterior selection over permanent candidates.
+    pub posterior_draws: u64,
+    /// Reports drawn by the uniform ablation selector.
+    pub uniform_draws: u64,
+    /// Reports drawn by the one-time planar-Laplace nomadic fallback.
+    pub nomadic_draws: u64,
+    /// User states rebuilt from a checkpoint.
+    pub restores: u64,
+}
+
+impl DeviceStats {
+    fn absorb(&mut self, request: RequestStats) {
+        self.posterior_cache_hits += request.cache_hits;
+        self.posterior_cache_misses += request.cache_misses;
+        self.posterior_draws += request.posterior_draws;
+        self.uniform_draws += request.uniform_draws;
+        self.nomadic_draws += request.nomadic_draws;
+    }
+}
+
+/// Records the budget spend of every candidate set the user's table gained
+/// since it held `sets_before` entries. The table is append-only, so the
+/// fresh sets are exactly the tail past that index.
+fn record_fresh_sets(
+    config: &SystemConfig,
+    user: UserId,
+    state: &UserState,
+    sets_before: usize,
+    stats: &mut DeviceStats,
+    pending: &mut Vec<SpendEvent>,
+) {
+    let params = config.geo_ind();
+    for (top, _) in state.obfuscation.table().entries().skip(sets_before) {
+        stats.fresh_candidate_sets += 1;
+        pending.push(SpendEvent {
+            user: u64::from(user.raw()),
+            kind: SpendKind::CandidateSet {
+                top: top_key(top.x, top.y),
+                epsilon: params.epsilon(),
+                delta: params.delta(),
+                n: params.n() as u32,
+            },
+        });
+    }
 }
 
 /// A trusted edge device serving many users (Fig. 5).
@@ -38,6 +107,16 @@ pub struct EdgeDevice {
     nomadic: PlanarLaplace,
     users: UserMap<UserState>,
     rng: StdRng,
+    /// Serving observations since the last [`EdgeDevice::drain_telemetry`].
+    /// Deliberately *not* part of [`DeviceSnapshot`]: telemetry describes a
+    /// run, not the recoverable device state.
+    stats: DeviceStats,
+    /// Privacy-budget events not yet delivered to a ledger. The serving
+    /// loop drains this only *after* a checkpoint commit, which makes
+    /// delivery exactly-once under crash recovery: a crash wipes the
+    /// undelivered buffer together with the device state it described, and
+    /// the post-restore retry regenerates both identically.
+    pending_spends: Vec<SpendEvent>,
 }
 
 impl EdgeDevice {
@@ -48,6 +127,8 @@ impl EdgeDevice {
             config,
             users: UserMap::new(),
             rng: seeded(seed),
+            stats: DeviceStats::default(),
+            pending_spends: Vec::new(),
         }
     }
 
@@ -69,6 +150,7 @@ impl EdgeDevice {
     /// Records a true-location check-in into the user's current profile
     /// window (the passive collection of Section V-B).
     pub fn report_checkin(&mut self, user: UserId, true_location: Point) {
+        self.stats.checkins += 1;
         self.state_mut(user).manager.record(true_location);
     }
 
@@ -79,7 +161,20 @@ impl EdgeDevice {
     pub fn finalize_window(&mut self, user: UserId) -> usize {
         let config = self.config;
         let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
-        state.finalize_window(&config, &mut self.rng)
+        let sets_before = state.obfuscation.table().len();
+        let fresh = state.finalize_window(&config, &mut self.rng);
+        self.stats.windows_closed += 1;
+        self.pending_spends
+            .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::WindowClose });
+        record_fresh_sets(
+            &config,
+            user,
+            state,
+            sets_before,
+            &mut self.stats,
+            &mut self.pending_spends,
+        );
+        fresh
     }
 
     /// Closes the user's window and returns the *local* profile without
@@ -96,6 +191,9 @@ impl EdgeDevice {
         let state = self.users.get_mut(user)?;
         state.manager.finalize_window();
         state.selection.invalidate();
+        self.stats.windows_closed += 1;
+        self.pending_spends
+            .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::WindowClose });
         Some(state.manager.profile().clone())
     }
 
@@ -116,10 +214,21 @@ impl EdgeDevice {
         let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
         state.manager.set_top_set(tops);
         state.selection.invalidate();
+        let sets_before = state.obfuscation.table().len();
         for (top, candidates) in candidate_sets {
             state.obfuscation.install(*top, candidates.clone());
         }
         state.warm_selection(&config);
+        // The fleet spent the budget when it generated these sets; the
+        // install point is where this device's ledger learns about it.
+        record_fresh_sets(
+            &config,
+            user,
+            state,
+            sets_before,
+            &mut self.stats,
+            &mut self.pending_spends,
+        );
     }
 
     /// Closes the window of every known user; returns the total number of
@@ -165,9 +274,17 @@ impl EdgeDevice {
     /// planar-Laplace obfuscation for nomadic positions.
     pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
         // Split borrows: no per-request copy of the config.
-        let Self { users, config, nomadic, rng, .. } = self;
+        let Self { users, config, nomadic, rng, stats, pending_spends } = self;
         let state = users.entry_or_insert_with(user, || UserState::new(config));
-        state.reported_location(config, nomadic, current_true, rng)
+        let sets_before = state.obfuscation.table().len();
+        let mut request = RequestStats::default();
+        let point = state.reported_location(config, nomadic, current_true, rng, &mut request);
+        stats.location_requests += 1;
+        stats.absorb(request);
+        // A first request at a freshly merged top can draw its permanent
+        // candidate set lazily — ledger that spend too.
+        record_fresh_sets(config, user, state, sets_before, stats, pending_spends);
+        point
     }
 
     /// Serves a batch of protocol requests in order, pushing exactly one
@@ -239,8 +356,57 @@ impl EdgeDevice {
         for record in &snapshot.users {
             let state = restore_user(&config, record)?;
             *device.users.entry_or_insert_with(record.user, || UserState::new(&config)) = state;
+            device.stats.restores += 1;
+            device
+                .pending_spends
+                .push(SpendEvent { user: u64::from(record.user.raw()), kind: SpendKind::Restore });
         }
         Ok(device)
+    }
+
+    /// Serving observations accumulated since the last
+    /// [`EdgeDevice::drain_telemetry`] call (or construction).
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Privacy-budget events awaiting delivery to a ledger.
+    pub fn pending_spends(&self) -> usize {
+        self.pending_spends.len()
+    }
+
+    /// Flushes the accumulated [`DeviceStats`] into `telemetry`'s metrics
+    /// registry and the pending budget events into its ledger, resetting
+    /// both device-local buffers.
+    ///
+    /// The supervised serving loop ([`crate::EdgeServer`]) calls this right
+    /// *after* each checkpoint commit — see the `pending_spends` field for
+    /// why that ordering gives ledger events exactly-once semantics across
+    /// crashes. Every metric is registered on every drain, so the exported
+    /// schema is stable even when a counter never fires.
+    pub fn drain_telemetry(&mut self, telemetry: &Telemetry) {
+        let stats = std::mem::take(&mut self.stats);
+        let registry = telemetry.registry();
+        let class = Determinism::Deterministic;
+        registry.counter("edge.checkins", class).add(stats.checkins);
+        registry.counter("edge.location_requests", class).add(stats.location_requests);
+        registry.counter("edge.windows_closed", class).add(stats.windows_closed);
+        registry.counter("edge.fresh_candidate_sets", class).add(stats.fresh_candidate_sets);
+        registry.counter("edge.posterior_cache_hits", class).add(stats.posterior_cache_hits);
+        registry.counter("edge.posterior_cache_misses", class).add(stats.posterior_cache_misses);
+        registry.counter("edge.posterior_draws", class).add(stats.posterior_draws);
+        registry.counter("edge.uniform_draws", class).add(stats.uniform_draws);
+        registry.counter("edge.nomadic_draws", class).add(stats.nomadic_draws);
+        // Restore counts depend on where kills land relative to wakeup
+        // boundaries (how many users existed at each restore), so they are
+        // scheduling-dependent, not workload-deterministic.
+        registry
+            .counter("recovery.restores", Determinism::Scheduling)
+            .add(stats.restores);
+        let ledger = telemetry.ledger();
+        for event in self.pending_spends.drain(..) {
+            ledger.record(event);
+        }
     }
 
     /// Replaces this device's state with a checkpoint, refusing any
@@ -625,6 +791,59 @@ mod tests {
         let current = e.snapshot();
         e.adopt_snapshot(&current).unwrap();
         assert_eq!(e.candidates(user, home).unwrap(), released.as_slice());
+    }
+
+    #[test]
+    fn telemetry_drain_matches_workload_and_ledger_audits_clean() {
+        let mut e = edge();
+        let user = UserId::new(1);
+        let home = Point::new(1_000.0, 1_000.0);
+        settle_home(&mut e, user, home); // 60 check-ins, 1 close, 1 fresh set
+        for _ in 0..5 {
+            e.reported_location(user, home);
+        }
+        e.reported_location(user, Point::new(40_000.0, 0.0)); // nomadic
+
+        let telemetry = Telemetry::new();
+        e.drain_telemetry(&telemetry);
+        assert_eq!(e.stats(), DeviceStats::default());
+        assert_eq!(e.pending_spends(), 0);
+
+        let metrics = telemetry.registry().snapshot();
+        assert_eq!(metrics.counter("edge.checkins"), Some(60));
+        assert_eq!(metrics.counter("edge.location_requests"), Some(6));
+        assert_eq!(metrics.counter("edge.windows_closed"), Some(1));
+        assert_eq!(metrics.counter("edge.fresh_candidate_sets"), Some(1));
+        assert_eq!(metrics.counter("edge.posterior_draws"), Some(5));
+        assert_eq!(metrics.counter("edge.nomadic_draws"), Some(1));
+        // finalize_window pre-warms the cache, so every draw hits.
+        assert_eq!(metrics.counter("edge.posterior_cache_hits"), Some(5));
+        assert_eq!(metrics.counter("edge.posterior_cache_misses"), Some(0));
+
+        // The ledger holds exactly one spend per released set; auditing it
+        // against the live snapshot finds no double spend and no gap.
+        let live: Vec<(u64, _)> = e
+            .snapshot()
+            .released_sets()
+            .unwrap()
+            .into_iter()
+            .map(|(u, p)| (u64::from(u.raw()), top_key(p.x, p.y)))
+            .collect();
+        assert_eq!(live.len(), 1);
+        telemetry.ledger().assert_no_double_spend(live).unwrap();
+        let totals = telemetry.ledger().totals();
+        assert_eq!(totals.candidate_sets, 1);
+        assert_eq!(totals.window_closes, 1);
+        assert_eq!(totals.restores, 0);
+
+        // A restore drains per-user restore events.
+        let snap = e.snapshot();
+        let mut restored = EdgeDevice::restore(e.config(), &snap).unwrap();
+        assert_eq!(restored.stats().restores, 1);
+        assert_eq!(restored.pending_spends(), 1);
+        restored.drain_telemetry(&telemetry);
+        assert_eq!(telemetry.ledger().totals().restores, 1);
+        assert_eq!(telemetry.registry().snapshot().counter("recovery.restores"), Some(1));
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use server::{
     EdgeHandle, EdgeServer, FaultPlan, HealthSnapshot, RetryPolicy, ServerOptions, TransportError,
 };
 pub use config::{EtaThreshold, SelectionKind, SystemConfig, SystemConfigBuilder};
-pub use edge::{AdDelivery, EdgeDevice};
+pub use edge::{AdDelivery, DeviceStats, EdgeDevice};
 pub use error::SystemError;
 pub use filter::{filter_ads, filter_ads_by};
 pub use fleet::EdgeFleet;

@@ -149,6 +149,25 @@ impl DeviceSnapshot {
         self.users.iter().find(|r| r.user == user)
     }
 
+    /// Every `(user, top location)` pair holding a released permanent
+    /// candidate set in this snapshot — the live-set input to the privacy
+    /// ledger's double-spend audit
+    /// ([`privlocad_telemetry::Ledger::assert_no_double_spend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] if a user's table image fails to decode.
+    pub fn released_sets(&self) -> Result<Vec<(UserId, Point)>, RecoveryError> {
+        let mut sets = Vec::new();
+        for record in &self.users {
+            let table = record.table()?;
+            for (top, _) in table.entries() {
+                sets.push((record.user, top));
+            }
+        }
+        Ok(sets)
+    }
+
     /// Serializes the snapshot into the versioned, FNV-1a-checksummed
     /// byte log. An edge deployment persists this image durably and
     /// restores it with [`DeviceSnapshot::decode`] on startup.

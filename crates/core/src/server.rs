@@ -8,6 +8,7 @@ use bytes::Bytes;
 use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
+use privlocad_telemetry::{Counter, Determinism, Gauge, Histogram, Telemetry, Tracer};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -42,7 +43,7 @@ pub struct EdgeHandle {
     tx: SyncSender<Envelope>,
     client: u64,
     next_client: Arc<AtomicU64>,
-    health: Arc<HealthCounters>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Clone for EdgeHandle {
@@ -51,7 +52,7 @@ impl Clone for EdgeHandle {
             tx: self.tx.clone(),
             client: self.next_client.fetch_add(1, Ordering::Relaxed),
             next_client: Arc::clone(&self.next_client),
-            health: Arc::clone(&self.health),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
@@ -187,13 +188,13 @@ impl EdgeHandle {
     /// hardened decode path — and waits for the response frame.
     pub fn call_raw(&self, frame: Vec<u8>) -> Result<EdgeResponse, TransportError> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.health.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.add(1);
         if self
             .tx
             .send(Envelope { client: self.client, frame, reply: reply_tx })
             .is_err()
         {
-            self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.queue_depth.sub(1);
             return Err(TransportError::Disconnected);
         }
         self.receive(&reply_rx)
@@ -203,16 +204,16 @@ impl EdgeHandle {
     /// semantics.
     pub fn try_call_raw(&self, frame: Vec<u8>) -> Result<EdgeResponse, TransportError> {
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.health.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.add(1);
         match self.tx.try_send(Envelope { client: self.client, frame, reply: reply_tx }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
-                self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                self.health.overload_rejections.fetch_add(1, Ordering::Relaxed);
+                self.metrics.queue_depth.sub(1);
+                self.metrics.overload_rejections.inc();
                 return Err(TransportError::Overloaded);
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.health.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.queue_depth.sub(1);
                 return Err(TransportError::Disconnected);
             }
         }
@@ -296,6 +297,11 @@ pub struct ServerOptions {
     /// Deterministic crash schedule, for supervision tests and the chaos
     /// harness. Empty in production.
     pub fault_plan: FaultPlan,
+    /// The telemetry hub this server publishes into: serving metrics,
+    /// logical-clock spans, and the privacy-budget ledger. Defaults to a
+    /// private hub; hand several servers a clone of one hub to aggregate a
+    /// fleet (cloning `ServerOptions` shares the hub — it is a handle).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServerOptions {
@@ -307,6 +313,7 @@ impl Default for ServerOptions {
             backoff_base: 16,
             backoff_cap: 4_096,
             fault_plan: FaultPlan::none(),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -347,19 +354,71 @@ impl FaultPlan {
     }
 }
 
-#[derive(Debug, Default)]
-struct HealthCounters {
-    restarts: AtomicU64,
-    malformed_frames: AtomicU64,
-    dropped_clients: AtomicU64,
-    failed_replies: AtomicU64,
-    overload_rejections: AtomicU64,
-    queue_depth: AtomicU64,
-    checkpoints: AtomicU64,
+/// Registry-backed serving metrics: one set of pre-registered handles
+/// shared by the serving loop and every client handle, publishing into
+/// the hub carried by [`ServerOptions::telemetry`].
+///
+/// Replaces the old hand-rolled atomic `HealthCounters` — the same
+/// numbers now come out of the telemetry registry, so they appear in the
+/// JSON export alongside everything else while [`EdgeServer::health`]
+/// keeps its [`HealthSnapshot`] API.
+#[derive(Debug)]
+struct ServerMetrics {
+    requests: Counter,
+    restarts: Counter,
+    malformed_frames: Counter,
+    dropped_clients: Counter,
+    failed_replies: Counter,
+    overload_rejections: Counter,
+    checkpoints: Counter,
+    wakeups: Counter,
+    queue_depth: Gauge,
+    batch_size: Histogram,
+    checkpoint_bytes: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        use Determinism::{Deterministic, Scheduling};
+        // Request, decode, and restart counts are pure functions of the
+        // workload and seed; anything keyed to wakeup boundaries (batch
+        // shapes, checkpoint cadence) or cross-thread races (overload,
+        // failed replies) is scheduling-dependent and excluded from the
+        // deterministic export.
+        ServerMetrics {
+            requests: registry.counter("server.requests", Deterministic),
+            restarts: registry.counter("server.restarts", Deterministic),
+            malformed_frames: registry.counter("server.malformed_frames", Deterministic),
+            dropped_clients: registry.counter("server.dropped_clients", Deterministic),
+            failed_replies: registry.counter("server.failed_replies", Scheduling),
+            overload_rejections: registry.counter("server.overload_rejections", Scheduling),
+            checkpoints: registry.counter("server.checkpoints", Scheduling),
+            wakeups: registry.counter("server.wakeups", Scheduling),
+            queue_depth: registry.gauge("server.queue_depth", Scheduling),
+            batch_size: registry.histogram("server.batch_size", Scheduling),
+            checkpoint_bytes: registry.histogram("server.checkpoint_bytes", Scheduling),
+        }
+    }
+
+    fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            restarts: self.restarts.value(),
+            malformed_frames: self.malformed_frames.value(),
+            dropped_clients: self.dropped_clients.value(),
+            failed_replies: self.failed_replies.value(),
+            overload_rejections: self.overload_rejections.value(),
+            queue_depth: self.queue_depth.value().max(0) as u64,
+            checkpoints: self.checkpoints.value(),
+        }
+    }
 }
 
 /// A point-in-time health snapshot of a supervised [`EdgeServer`] — what
 /// a fleet operator scrapes to see a device degrading before it fails.
+///
+/// Backed by the telemetry registry: when several servers share one hub
+/// (see [`ServerOptions::telemetry`]), the numbers are hub-wide totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthSnapshot {
     /// Supervised worker restarts so far.
@@ -377,20 +436,6 @@ pub struct HealthSnapshot {
     pub queue_depth: u64,
     /// Recovery checkpoints committed (one per delivered batch).
     pub checkpoints: u64,
-}
-
-impl HealthCounters {
-    fn snapshot(&self) -> HealthSnapshot {
-        HealthSnapshot {
-            restarts: self.restarts.load(Ordering::Relaxed),
-            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
-            dropped_clients: self.dropped_clients.load(Ordering::Relaxed),
-            failed_replies: self.failed_replies.load(Ordering::Relaxed),
-            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-        }
-    }
 }
 
 /// An edge device behind a supervised message-passing serving loop.
@@ -433,7 +478,8 @@ impl HealthCounters {
 #[derive(Debug)]
 pub struct EdgeServer {
     thread: std::thread::JoinHandle<Result<EdgeDevice, SystemError>>,
-    health: Arc<HealthCounters>,
+    metrics: Arc<ServerMetrics>,
+    telemetry: Telemetry,
 }
 
 impl EdgeServer {
@@ -451,22 +497,31 @@ impl EdgeServer {
     ) -> (EdgeServer, EdgeHandle) {
         let (tx, rx): (SyncSender<Envelope>, Receiver<_>) =
             sync_channel(options.queue_capacity.max(1));
-        let health = Arc::new(HealthCounters::default());
-        let worker_health = Arc::clone(&health);
+        let telemetry = options.telemetry.clone();
+        let metrics = Arc::new(ServerMetrics::new(&telemetry));
+        let worker_metrics = Arc::clone(&metrics);
         let thread =
-            std::thread::spawn(move || serve(config, seed, rx, options, worker_health));
+            std::thread::spawn(move || serve(config, seed, rx, options, worker_metrics));
         let handle = EdgeHandle {
             tx,
             client: 0,
+            // lint:allow(telemetry-hygiene): client-identity allocator, not a metric — never exported
             next_client: Arc::new(AtomicU64::new(1)),
-            health: Arc::clone(&health),
+            metrics: Arc::clone(&metrics),
         };
-        (EdgeServer { thread, health }, handle)
+        (EdgeServer { thread, metrics, telemetry }, handle)
     }
 
-    /// The server's current health counters.
+    /// The server's current health counters, read from the telemetry
+    /// registry. Hub-wide totals when servers share a hub.
     pub fn health(&self) -> HealthSnapshot {
-        self.health.snapshot()
+        self.metrics.snapshot()
+    }
+
+    /// The telemetry hub this server publishes into (the one passed via
+    /// [`ServerOptions::telemetry`], or the private default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Waits for the serving loop to finish (after a shutdown request or
@@ -479,7 +534,7 @@ impl EdgeServer {
     /// restart budget (its clients all received explicit failures, never
     /// a hung channel).
     pub fn join(self) -> Result<EdgeDevice, SystemError> {
-        let restarts = self.health.restarts.load(Ordering::Relaxed) as u32;
+        let restarts = self.metrics.restarts.value() as u32;
         match self.thread.join() {
             Ok(outcome) => outcome,
             // The supervisor itself never panics by design; if it somehow
@@ -505,9 +560,15 @@ fn serve(
     seed: u64,
     rx: Receiver<Envelope>,
     options: ServerOptions,
-    health: Arc<HealthCounters>,
+    metrics: Arc<ServerMetrics>,
 ) -> Result<EdgeDevice, SystemError> {
     let mut edge = EdgeDevice::new(config, seed);
+    let telemetry = options.telemetry.clone();
+    // Logical-clock tracer for the per-wakeup pipeline stages. The clock
+    // advances one tick per decoded request — never wall time — so span
+    // boundaries are reproducible. With the `trace` feature off this is a
+    // zero-sized no-op.
+    let tracer = Tracer::default();
     // The committed recovery checkpoint: the versioned, checksummed byte
     // log described in `crate::recovery`, re-taken after every delivered
     // batch and decoded+restored after every caught panic. Replies go out
@@ -542,7 +603,9 @@ fn serve(
         while let Ok(next) = rx.try_recv() {
             batch.push(next);
         }
-        health.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        metrics.wakeups.inc();
+        metrics.batch_size.observe(batch.len() as u64);
+        metrics.queue_depth.sub(batch.len() as i64);
 
         // Decode phase — total: every frame passes the hardened strict
         // decode, and malformed input costs its sender strikes, never the
@@ -550,32 +613,35 @@ fn serve(
         verdicts.clear();
         requests.clear();
         let mut shutdown_at = None;
-        for (i, envelope) in batch.iter().enumerate() {
-            if banned.contains(&envelope.client) {
-                verdicts.push(Verdict::Drop);
-                continue;
-            }
-            match ClientRequest::decode(&envelope.frame) {
-                Ok(ClientRequest::Shutdown) => {
-                    shutdown_at = Some(i);
-                    break;
+        {
+            let _span = tracer.span("server.decode");
+            for (i, envelope) in batch.iter().enumerate() {
+                if banned.contains(&envelope.client) {
+                    verdicts.push(Verdict::Drop);
+                    continue;
                 }
-                Ok(request) => {
-                    strikes.remove(&envelope.client);
-                    verdicts.push(Verdict::Serve(requests.len()));
-                    requests.push(request);
-                }
-                Err(_) => {
-                    health.malformed_frames.fetch_add(1, Ordering::Relaxed);
-                    let count = strikes.entry(envelope.client).or_insert(0);
-                    *count += 1;
-                    if *count >= malformed_limit {
+                match ClientRequest::decode(&envelope.frame) {
+                    Ok(ClientRequest::Shutdown) => {
+                        shutdown_at = Some(i);
+                        break;
+                    }
+                    Ok(request) => {
                         strikes.remove(&envelope.client);
-                        banned.insert(envelope.client);
-                        health.dropped_clients.fetch_add(1, Ordering::Relaxed);
-                        verdicts.push(Verdict::Drop);
-                    } else {
-                        verdicts.push(Verdict::Reject(malformed_limit - *count));
+                        verdicts.push(Verdict::Serve(requests.len()));
+                        requests.push(request);
+                    }
+                    Err(_) => {
+                        metrics.malformed_frames.inc();
+                        let count = strikes.entry(envelope.client).or_insert(0);
+                        *count += 1;
+                        if *count >= malformed_limit {
+                            strikes.remove(&envelope.client);
+                            banned.insert(envelope.client);
+                            metrics.dropped_clients.inc();
+                            verdicts.push(Verdict::Drop);
+                        } else {
+                            verdicts.push(Verdict::Reject(malformed_limit - *count));
+                        }
                     }
                 }
             }
@@ -592,25 +658,30 @@ fn serve(
         let mut attempt = 0;
         loop {
             responses.clear();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                serve_requests(&mut edge, &requests, &mut responses, &mut fault_plan, served)
-            }));
+            let outcome = {
+                let _span = tracer.span("server.serve_batch");
+                catch_unwind(AssertUnwindSafe(|| {
+                    serve_requests(&mut edge, &requests, &mut responses, &mut fault_plan, served)
+                }))
+            };
             if outcome.is_ok() {
                 break;
             }
             restarts += 1;
-            health.restarts.fetch_add(1, Ordering::Relaxed);
+            metrics.restarts.inc();
             let restored = restarts <= options.max_restarts
                 && restore_checkpoint(&log, config, &mut edge).is_ok();
             if !restored {
                 // Past the restart budget (or the checkpoint itself is
                 // unreadable): fail every pending reply explicitly and
                 // surface a structured error — never a hang, never an
-                // escaped panic.
-                fail_replies(batch.drain(..), restarts, &health);
+                // escaped panic. The device is in an unknown post-panic
+                // state, so its undrained telemetry dies with it — only
+                // committed batches ever reach the ledger.
+                fail_replies(batch.drain(..), restarts, &metrics);
                 while let Ok(envelope) = rx.try_recv() {
-                    health.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    fail_replies(std::iter::once(envelope), restarts, &health);
+                    metrics.queue_depth.sub(1);
+                    fail_replies(std::iter::once(envelope), restarts, &metrics);
                 }
                 return Err(SystemError::WorkerFailed { restarts });
             }
@@ -619,28 +690,38 @@ fn serve(
             if attempt >= 2 {
                 // The batch poisoned the worker twice: reply with an
                 // explicit failure and move on with the restored device.
-                fail_replies(batch.drain(..), restarts, &health);
+                fail_replies(batch.drain(..), restarts, &metrics);
                 continue 'accept;
             }
         }
         served += requests.len() as u64;
+        metrics.requests.add(requests.len() as u64);
+        tracer.advance(requests.len() as u64);
 
         // Commit phase: checkpoint first, deliver second. A crash between
         // the two replays the batch from the *old* checkpoint without
         // having exposed anything, so clients never observe rolled-back
         // state.
         log = edge.snapshot().encode();
-        health.checkpoints.fetch_add(1, Ordering::Relaxed);
+        metrics.checkpoints.inc();
+        metrics.checkpoint_bytes.observe(log.len() as u64);
+        // Telemetry drains strictly after the commit: a crash wipes any
+        // undelivered ledger events together with the device state they
+        // described, keeping budget-spend delivery exactly-once.
+        edge.drain_telemetry(&telemetry);
 
         // One encode block per wakeup: every response frame lands in
         // `frame_buf`, is frozen into a single shared allocation, and each
         // client gets a zero-copy slice — no per-response allocation.
         frame_buf.clear();
         offsets.clear();
-        for response in &responses {
-            let start = frame_buf.len();
-            response.encode_into(&mut frame_buf);
-            offsets.push(start..frame_buf.len());
+        {
+            let _span = tracer.span("server.encode");
+            for response in &responses {
+                let start = frame_buf.len();
+                response.encode_into(&mut frame_buf);
+                offsets.push(start..frame_buf.len());
+            }
         }
         let block = Bytes::copy_from_slice(&frame_buf);
         for (envelope, verdict) in batch.iter().zip(verdicts.iter()) {
@@ -672,6 +753,10 @@ fn serve(
         // for the next wakeup.
         batch.clear();
     }
+    // Final drain: a restore whose batch was then abandoned (the poisoned
+    // twice-crashing case) leaves its restore events pending with no later
+    // commit to carry them.
+    edge.drain_telemetry(&telemetry);
     Ok(edge)
 }
 
@@ -713,10 +798,10 @@ fn restore_checkpoint(
 fn fail_replies(
     envelopes: impl Iterator<Item = Envelope>,
     restarts: u32,
-    health: &HealthCounters,
+    metrics: &ServerMetrics,
 ) {
     for envelope in envelopes {
-        health.failed_replies.fetch_add(1, Ordering::Relaxed);
+        metrics.failed_replies.inc();
         let _ = envelope.reply.send(
             EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail: restarts }.encode(),
         );
@@ -952,7 +1037,13 @@ mod tests {
         // before running `serve` so it drains in a single wakeup.
         let config = SystemConfig::builder().build().unwrap();
         let (tx, rx) = sync_channel::<Envelope>(16);
-        let health = Arc::new(HealthCounters::default());
+        let options = ServerOptions {
+            fault_plan: FaultPlan::kill_at([0, 2]),
+            backoff_base: 1,
+            backoff_cap: 1,
+            ..ServerOptions::default()
+        };
+        let metrics = Arc::new(ServerMetrics::new(&options.telemetry));
         let mut replies = Vec::new();
         for t in 0..4 {
             let (reply_tx, reply_rx) = sync_channel(1);
@@ -963,18 +1054,12 @@ mod tests {
             }
             .encode()
             .to_vec();
-            health.queue_depth.fetch_add(1, Ordering::Relaxed);
+            metrics.queue_depth.add(1);
             tx.send(Envelope { client: 0, frame, reply: reply_tx }).unwrap();
             replies.push(reply_rx);
         }
         drop(tx);
-        let options = ServerOptions {
-            fault_plan: FaultPlan::kill_at([0, 2]),
-            backoff_base: 1,
-            backoff_cap: 1,
-            ..ServerOptions::default()
-        };
-        let edge = serve(config, 7, rx, options, Arc::clone(&health)).unwrap();
+        let edge = serve(config, 7, rx, options, Arc::clone(&metrics)).unwrap();
         for reply_rx in replies {
             let frame = reply_rx.recv().unwrap();
             assert_eq!(
@@ -984,8 +1069,8 @@ mod tests {
         }
         // The batch was dropped after the restore: no check-in survived.
         assert_eq!(edge.user_count(), 0);
-        assert_eq!(health.restarts.load(Ordering::Relaxed), 2);
-        assert_eq!(health.failed_replies.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.restarts.value(), 2);
+        assert_eq!(metrics.failed_replies.value(), 4);
     }
 
     #[test]
@@ -993,12 +1078,13 @@ mod tests {
         // Client-side path against a full queue: a capacity-1 channel with
         // no consumer, its single slot occupied directly.
         let (tx, _rx) = sync_channel::<Envelope>(1);
-        let health = Arc::new(HealthCounters::default());
+        let telemetry = Telemetry::new();
+        let metrics = Arc::new(ServerMetrics::new(&telemetry));
         let handle = EdgeHandle {
             tx,
             client: 0,
             next_client: Arc::new(AtomicU64::new(1)),
-            health: Arc::clone(&health),
+            metrics: Arc::clone(&metrics),
         };
         let (reply_tx, _parked) = sync_channel(1);
         handle.tx.send(Envelope { client: 9, frame: Vec::new(), reply: reply_tx }).unwrap();
@@ -1007,10 +1093,10 @@ mod tests {
         let policy = RetryPolicy { max_attempts: 3, backoff_base: 4, backoff_cap: 64 };
         let err = handle.call_with_retry(ClientRequest::Shutdown, &policy).unwrap_err();
         assert_eq!(err, TransportError::Overloaded);
-        assert_eq!(health.overload_rejections.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.overload_rejections.value(), 4);
         // Rejected sends roll their depth increment back; the only queued
         // envelope went around the handle, so the depth reads zero.
-        assert_eq!(health.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.queue_depth.value(), 0);
     }
 
     #[test]
@@ -1023,6 +1109,54 @@ mod tests {
         assert!(health.checkpoints >= 1);
         handle.shutdown().unwrap();
         server.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_hub_records_serving_and_ledger_audits_clean() {
+        use privlocad_telemetry::top_key;
+        let hub = Telemetry::new();
+        let (server, handle) = EdgeServer::spawn_with(
+            SystemConfig::builder().build().unwrap(),
+            11,
+            ServerOptions { telemetry: hub.clone(), ..ServerOptions::default() },
+        );
+        let user = UserId::new(6);
+        let home = Point::new(30.0, 40.0);
+        for t in 0..30 {
+            handle.check_in(user, home, t).unwrap();
+        }
+        assert_eq!(handle.finalize_window(user).unwrap(), 1);
+        for _ in 0..5 {
+            handle.request_location(user, home).unwrap();
+        }
+        handle.shutdown().unwrap();
+        let edge = server.join().unwrap();
+
+        let metrics = hub.registry().snapshot();
+        // 30 check-ins + 1 finalize + 5 requests (shutdown is transport-level).
+        assert_eq!(metrics.counter("server.requests"), Some(36));
+        assert_eq!(metrics.counter("edge.checkins"), Some(30));
+        assert_eq!(metrics.counter("edge.windows_closed"), Some(1));
+        assert_eq!(metrics.counter("edge.location_requests"), Some(5));
+        assert_eq!(metrics.counter("server.restarts"), Some(0));
+
+        // Every budget spend the device released is in the ledger, exactly
+        // once.
+        let live: Vec<(u64, _)> = edge
+            .snapshot()
+            .released_sets()
+            .unwrap()
+            .into_iter()
+            .map(|(u, p)| (u64::from(u.raw()), top_key(p.x, p.y)))
+            .collect();
+        assert_eq!(live.len(), 1);
+        hub.ledger().assert_no_double_spend(live).unwrap();
+        assert_eq!(hub.ledger().totals().candidate_sets, 1);
+        // The JSON export carries all three sections.
+        let json = hub.to_json();
+        for key in ["server.requests", "edge.checkins", "\"ledger\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

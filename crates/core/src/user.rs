@@ -143,6 +143,26 @@ mod usermap_tests {
     }
 }
 
+/// Per-request serving observations, accumulated into the caller's
+/// scratch and folded into the device's telemetry stats. Plain counters —
+/// the request path is single-threaded per user slot, so no atomics (and
+/// the `telemetry-hygiene` lint rule bans them here anyway).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RequestStats {
+    /// Posterior-table lookups served from the selection cache.
+    pub(crate) cache_hits: u64,
+    /// Posterior-table lookups that had to build the table.
+    pub(crate) cache_misses: u64,
+    /// Draws answered from a permanent candidate set via posterior
+    /// selection.
+    pub(crate) posterior_draws: u64,
+    /// Draws answered from a permanent candidate set via the uniform
+    /// ablation selector.
+    pub(crate) uniform_draws: u64,
+    /// Draws answered by the one-time planar-Laplace fallback.
+    pub(crate) nomadic_draws: u64,
+}
+
 /// One user's state on an edge device.
 #[derive(Debug, Clone)]
 pub(crate) struct UserState {
@@ -171,10 +191,16 @@ impl UserState {
         &mut self,
         top: Point,
         rng: &mut dyn RngCore,
+        stats: &mut RequestStats,
     ) -> (&[Point], &PosteriorTable) {
         let selector = PosteriorSelector::new(self.obfuscation.mechanism().sigma());
         let candidates = self.obfuscation.candidates_for(top, rng);
-        let table = self.selection.table_for(top, &selector, candidates);
+        let (hit, table) = self.selection.lookup_or_build(top, &selector, candidates);
+        if hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
         (candidates, table)
     }
 
@@ -192,19 +218,25 @@ impl UserState {
         nomadic: &PlanarLaplace,
         current_true: Point,
         rng: &mut R,
+        stats: &mut RequestStats,
     ) -> Point {
         match self.manager.matching_top(current_true, config.top_match_radius_m()) {
             Some(top) => match config.selection() {
                 SelectionKind::Posterior => {
-                    let (candidates, table) = self.posterior_ctx(top, rng);
+                    stats.posterior_draws += 1;
+                    let (candidates, table) = self.posterior_ctx(top, rng, stats);
                     candidates[table.draw(rng)]
                 }
                 SelectionKind::Uniform => {
+                    stats.uniform_draws += 1;
                     let candidates = self.obfuscation.candidates_for(top, rng);
                     candidates[UniformSelector::new().select(candidates, rng)]
                 }
             },
-            None => nomadic.sample(current_true, rng),
+            None => {
+                stats.nomadic_draws += 1;
+                nomadic.sample(current_true, rng)
+            }
         }
     }
 

@@ -75,6 +75,10 @@ pub const RULES: &[Rule] = &[
         summary: "all external dependencies must resolve to vendored compat/ paths; no registry or git deps",
     },
     Rule {
+        name: "telemetry-hygiene",
+        summary: "no hand-rolled atomic counters in core/bench serving paths; use the privlocad-telemetry registry",
+    },
+    Rule {
         name: "allow-syntax",
         summary: "lint:allow suppressions must name a known rule and carry a justification",
     },
@@ -161,6 +165,19 @@ const CHANNEL_OPS: &[&str] = &["send(", "try_send(", "recv()", "try_recv()", "re
 /// Crates where RNGs must be derived from a master seed.
 const SEED_DISCIPLINE: &[&str] = &["bench"];
 
+/// Crates whose serving paths must route observability through the
+/// `privlocad-telemetry` registry. A bare atomic constructed here is almost
+/// always a shadow counter that will drift from (and never reach) the
+/// exported snapshot; the telemetry crate itself is out of scope since it
+/// *implements* the registry.
+const TELEMETRY_SCOPE: &[&str] = &["core", "bench"];
+
+/// Construction sites the telemetry-hygiene rule guards. Matching the
+/// `::new(` call rather than the type name keeps imports and type positions
+/// quiet — the finding lands where the counter is born.
+const ATOMIC_CTORS: &[&str] =
+    &["AtomicU64::new(", "AtomicUsize::new(", "AtomicU32::new(", "AtomicI64::new("];
+
 /// The one module allowed to construct mechanism parameter types directly.
 const PARAMS_MODULE: &str = "crates/mechanisms/src/params.rs";
 
@@ -230,6 +247,8 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
     let seed_scope = ctx.crate_is(SEED_DISCIPLINE)
         || ctx.crate_name.is_none()
         || ctx.kind == FileKind::Example;
+    let telemetry_scope =
+        ctx.crate_is(TELEMETRY_SCOPE) && matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
     let params_scope = !ctx.rel_path.ends_with(PARAMS_MODULE);
 
     let mut push = |line: usize, rule: &'static str, message: String| {
@@ -348,6 +367,19 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
                     "channel-hygiene",
                     "`unwrap()`/`expect()` on a channel operation in a serving path; a dropped peer is routine — handle the `Err` branch or fail the reply explicitly".to_owned(),
                 );
+            }
+        }
+
+        if telemetry_scope && !in_test {
+            for ctor in ATOMIC_CTORS {
+                if find_token(code, ctor).is_some() {
+                    let ty = ctor.trim_end_matches("::new(");
+                    push(
+                        line_no,
+                        "telemetry-hygiene",
+                        format!("hand-rolled `{ty}` counter in a serving path; register it through the privlocad-telemetry `Registry` so it reaches the exported snapshot (or justify a non-metric use)"),
+                    );
+                }
             }
         }
 
@@ -598,6 +630,50 @@ mod tests {
         assert!(!rules_hit("crates/geo/src/rng.rs", src).contains(&"determinism-seed"));
         let derived = "fn f(m: u64) { let r = StdRng::seed_from_u64(derive_seed(m, 1)); }\n";
         assert!(!rules_hit("crates/bench/src/fig2.rs", derived).contains(&"determinism-seed"));
+    }
+
+    #[test]
+    fn atomic_counters_fire_in_serving_crates_only() {
+        let src = "struct S { hits: AtomicU64 }\nfn f() -> S { S { hits: AtomicU64::new(0) } }\n";
+        // Fires at the construction site (line 2), in core and bench only.
+        let findings = check_file(&ctx("crates/core/src/server.rs"), &lex(src));
+        let hit = findings.iter().find(|f| f.rule == "telemetry-hygiene").expect("must fire");
+        assert_eq!(hit.line, 2);
+        assert!(hit.message.contains("AtomicU64"));
+        assert!(rules_hit("crates/bench/src/bin/serve.rs", src).contains(&"telemetry-hygiene"));
+        // Out of scope: the telemetry crate (it implements the registry),
+        // non-serving crates, and test code.
+        assert!(!rules_hit("crates/telemetry/src/registry.rs", src).contains(&"telemetry-hygiene"));
+        assert!(!rules_hit("crates/lint/src/x.rs", src).contains(&"telemetry-hygiene"));
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { AtomicU64::new(0); }\n}\n";
+        assert!(!rules_hit("crates/core/src/x.rs", test_src).contains(&"telemetry-hygiene"));
+        // Imports and type positions stay quiet — only `::new(` is a counter.
+        let quiet = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n";
+        assert!(!rules_hit("crates/core/src/x.rs", quiet).contains(&"telemetry-hygiene"));
+        // Every guarded constructor is covered.
+        for ctor in ["AtomicU64", "AtomicUsize", "AtomicU32", "AtomicI64"] {
+            let src = format!("fn f() {{ let c = {ctor}::new(0); }}\n");
+            assert!(
+                rules_hit("crates/bench/src/x.rs", &src).contains(&"telemetry-hygiene"),
+                "{ctor}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_counter_suppression_is_honoured() {
+        use crate::allowlist::{apply_suppressions, parse_inline_allows};
+        let src = "fn f() {\n // lint:allow(telemetry-hygiene): identity allocator, not a metric\n let c = AtomicU64::new(0);\n}\n";
+        let path = "crates/core/src/x.rs";
+        let lexed = lex(src);
+        let mut findings = check_file(&ctx(path), &lexed);
+        let (allows, syntax) = parse_inline_allows(path, &lexed);
+        assert!(syntax.is_empty(), "{syntax:?}");
+        let mut inline = [(path.to_owned(), allows)];
+        apply_suppressions(&mut findings, &mut inline, &mut [], "lint.allow");
+        let hit = findings.iter().find(|f| f.rule == "telemetry-hygiene").expect("must fire");
+        assert_eq!(hit.suppressed.as_deref(), Some("identity allocator, not a metric"));
+        assert!(!findings.iter().any(|f| f.rule == "unused-allow"));
     }
 
     #[test]

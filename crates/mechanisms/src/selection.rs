@@ -412,11 +412,28 @@ impl SelectionCache {
         selector: &PosteriorSelector,
         candidates: &[Point],
     ) -> &PosteriorTable {
+        self.lookup_or_build(top, selector, candidates).1
+    }
+
+    /// [`SelectionCache::table_for`] that also reports whether the lookup
+    /// was a cache hit (`true`) or had to build the table (`false`) — the
+    /// hook the telemetry layer counts posterior-cache hit/miss rates
+    /// with. On a hit, `candidates` is not consulted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new entry must be built from empty `candidates`.
+    pub fn lookup_or_build(
+        &mut self,
+        top: Point,
+        selector: &PosteriorSelector,
+        candidates: &[Point],
+    ) -> (bool, &PosteriorTable) {
         match self.entries.iter().position(|(t, _)| *t == top) {
-            Some(i) => &self.entries[i].1,
+            Some(i) => (true, &self.entries[i].1),
             None => {
                 self.entries.push((top, PosteriorTable::new(selector, candidates)));
-                &self.entries[self.entries.len() - 1].1
+                (false, &self.entries[self.entries.len() - 1].1)
             }
         }
     }
@@ -643,6 +660,25 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.invalidate();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lookup_or_build_reports_hits_and_misses() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let top = Point::new(10.0, 10.0);
+        let mut cache = SelectionCache::new();
+        let (hit, built) = cache.lookup_or_build(top, &sel, &cands);
+        let built = built.clone();
+        assert!(!hit);
+        // Hit path never consults candidates (empty would panic on build).
+        let (hit, again) = cache.lookup_or_build(top, &sel, &[]);
+        assert!(hit);
+        assert_eq!(*again, built);
+        // Invalidation turns the next lookup back into a miss.
+        cache.invalidate();
+        let (hit, _) = cache.lookup_or_build(top, &sel, &cands);
+        assert!(!hit);
     }
 
     #[test]

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --no-default-features (trace feature compiles out)"
+cargo build --workspace --no-default-features
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -39,6 +42,12 @@ grep -q 'serve/batched_cached/16' "$smoke_dir/BENCH_serve.json"
 grep -q 'serve/shared_batched/16x2' "$smoke_dir/BENCH_serve.json"
 grep -q 'requests_per_sec' "$smoke_dir/BENCH_serve.json"
 grep -q 'batched+cached vs legacy single-request path' "$smoke_dir/serve.out"
+# Telemetry smoke: the serving hub lands in the log (validated above by
+# --bench-json) and the cache-hit line prints.
+grep -q '"telemetry"' "$smoke_dir/BENCH_serve.json"
+grep -q '"edge.posterior_cache_hits"' "$smoke_dir/BENCH_serve.json"
+grep -q '"ledger"' "$smoke_dir/BENCH_serve.json"
+grep -q 'telemetry: posterior cache' "$smoke_dir/serve.out"
 
 echo "==> bench chaos (smoke, reduced sizes)"
 # Shape/survival only — the harness itself asserts the hard contract
@@ -54,5 +63,10 @@ grep -q 'chaos/mid_window_restart/2' "$smoke_dir/BENCH_chaos.json"
 grep -q 'chaos/flood/2' "$smoke_dir/BENCH_chaos.json"
 grep -q 'recovery_ns' "$smoke_dir/BENCH_chaos.json"
 grep -q 'survival contract held' "$smoke_dir/chaos.out"
+# Telemetry smoke: per-scenario hubs land in the log and the ledger
+# audit (asserted inside the harness) reports clean.
+grep -q '"chaos/worker_kill/2": {"counters"' "$smoke_dir/BENCH_chaos.json"
+grep -q '"server.restarts"' "$smoke_dir/BENCH_chaos.json"
+grep -q 'privacy ledger audit: .* zero double-spends' "$smoke_dir/chaos.out"
 
 echo "OK"
