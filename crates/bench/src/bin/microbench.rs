@@ -1,0 +1,256 @@
+//! The candidate-generation microbenchmark driver.
+//!
+//! ```text
+//! Usage: microbench [options]
+//!
+//! Options:
+//!   --users N        users closing a window per iteration (default 64)
+//!   --tops N         top locations per user (default 2)
+//!   --edges N        edge devices each set is installed on (default 32)
+//!   --n N            candidates per set, the mechanism's n (default 24)
+//!   --seed N         master seed of the derived streams (default 0)
+//!   --bench-json F   benchmark log to append candidate-install rows to
+//!                    (default BENCH_repro.json in the working directory)
+//! ```
+//!
+//! The `candidate_install/...` rows are appended to the existing benchmark
+//! log (replacing any earlier ones, so reruns never accumulate), and the
+//! merged document is re-validated with the same schema check that
+//! `privlocad-lint --bench-json` applies in CI.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privlocad_bench::candgen::{self, CandidateRow, Config};
+use privlocad_lint::json::{parse, render, validate_bench_report, Json};
+
+#[derive(Debug, Clone)]
+struct Options {
+    config: Config,
+    bench_json: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: microbench [--users N] [--tops N] [--edges N] [--n N] [--seed N] \
+     [--bench-json FILE]"
+}
+
+fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} {v}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { config: Config::default(), bench_json: PathBuf::from("BENCH_repro.json") };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => opts.config.users = num(&mut it, "--users")?.max(1),
+            "--tops" => opts.config.tops = num(&mut it, "--tops")?.max(1),
+            "--edges" => opts.config.edges = num(&mut it, "--edges")?.max(1),
+            "--n" => opts.config.n = num(&mut it, "--n")?.max(1),
+            "--seed" => opts.config.seed = num(&mut it, "--seed")? as u64,
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn row_to_json(row: &CandidateRow) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Json::Str(row.name.clone()));
+    obj.insert("wall_ms".to_owned(), Json::Num(row.wall_ms));
+    obj.insert("ns_per_op".to_owned(), Json::Num(row.ns_per_op));
+    obj.insert("installs_per_sec".to_owned(), Json::Num(row.installs_per_sec));
+    obj.insert("threads".to_owned(), Json::Num(row.threads as f64));
+    if let Some(ratio) = row.ratio {
+        obj.insert("ratio".to_owned(), Json::Num(ratio));
+    }
+    Json::Obj(obj)
+}
+
+/// Loads the benchmark log (or starts a fresh one), drops any stale
+/// `candidate_install/...` rows, appends the new rows plus the install
+/// telemetry hub, and returns the merged document.
+fn merge_log(
+    existing: Option<&str>,
+    opts: &Options,
+    rows: &[CandidateRow],
+    telemetry_json: &str,
+) -> Result<Json, String> {
+    let mut doc = match existing {
+        Some(text) => parse(text)?,
+        None => {
+            let mut obj = BTreeMap::new();
+            obj.insert("experiment".to_owned(), Json::Str("microbench".to_owned()));
+            obj.insert("seed".to_owned(), Json::Num(opts.config.seed as f64));
+            obj.insert("threads".to_owned(), Json::Num(1.0));
+            obj.insert("runs".to_owned(), Json::Arr(Vec::new()));
+            Json::Obj(obj)
+        }
+    };
+    let Json::Obj(obj) = &mut doc else {
+        return Err("benchmark log root is not an object".to_owned());
+    };
+    let Some(Json::Arr(runs)) = obj.get_mut("runs") else {
+        return Err("benchmark log has no `runs` array".to_owned());
+    };
+    runs.retain(|run| {
+        !matches!(
+            run.get("name").and_then(Json::as_str),
+            Some(n) if n.starts_with("candidate_install/")
+        )
+    });
+    runs.extend(rows.iter().map(row_to_json));
+    // Publish the install-path hub under the top-level `telemetry` section,
+    // replacing any stale `candidate_install` entry.
+    let telemetry = obj.entry("telemetry".to_owned()).or_insert_with(|| Json::Obj(BTreeMap::new()));
+    let Json::Obj(sections) = telemetry else {
+        return Err("benchmark log `telemetry` is not an object".to_owned());
+    };
+    sections.insert("candidate_install".to_owned(), parse(telemetry_json)?);
+    Ok(doc)
+}
+
+fn write_log(opts: &Options, rows: &[CandidateRow], telemetry_json: &str) -> Result<(), String> {
+    let existing = std::fs::read_to_string(&opts.bench_json).ok();
+    let doc = merge_log(existing.as_deref(), opts, rows, telemetry_json)?;
+    let text = render(&doc);
+    validate_bench_report(&text)?;
+    std::fs::write(&opts.bench_json, &text)
+        .map_err(|e| format!("cannot write {}: {e}", opts.bench_json.display()))?;
+    println!("[bench] wrote {}", opts.bench_json.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = candgen::run(&opts.config);
+    print!("{}", out.table().render());
+    println!(
+        "\ndeterminism: batched candidate streams match the scalar path bit-for-bit \
+         across {} sets",
+        out.pairs_verified
+    );
+    if let Some(speedup) = out.speedup() {
+        println!(
+            "batched vs cold candidate install: {speedup:.1}x (acceptance floor: 4x)"
+        );
+    }
+    let snapshot = out.telemetry.registry().snapshot();
+    let fresh = snapshot.counter("edge.fresh_candidate_sets").unwrap_or(0);
+    let spends = out.telemetry.ledger().totals().candidate_sets;
+    println!(
+        "telemetry: {fresh} fresh candidate sets, {spends} ledger spends over the \
+         install profile"
+    );
+    if let Err(e) = write_log(&opts, &out.rows, &out.telemetry.to_json()) {
+        eprintln!("[bench] {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn row(name: &str, ratio: Option<f64>) -> CandidateRow {
+        CandidateRow {
+            name: name.to_owned(),
+            wall_ms: 1.5,
+            ns_per_op: 420.0,
+            installs_per_sec: 2_380_952.0,
+            threads: 1,
+            ratio,
+        }
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!((o.config.users, o.config.tops, o.config.edges, o.config.n), (64, 2, 32, 24));
+        assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
+        let o = parse_args(&args("--users 8 --tops 3 --edges 4 --n 6 --seed 9 --bench-json m.json"))
+            .unwrap();
+        assert_eq!((o.config.users, o.config.tops, o.config.edges, o.config.n), (8, 3, 4, 6));
+        assert_eq!(o.config.seed, 9);
+        assert_eq!(o.bench_json, PathBuf::from("m.json"));
+        assert!(parse_args(&args("--wat")).unwrap_err().contains("unknown option"));
+        assert!(parse_args(&args("--edges x")).unwrap_err().contains("bad --edges"));
+    }
+
+    #[test]
+    fn merge_replaces_stale_candidate_rows_and_validates() {
+        let opts = parse_args(&[]).unwrap();
+        let existing = r#"{"experiment": "all", "seed": 0, "threads": 2, "runs": [
+            {"name": "fig9", "wall_ms": 80.0, "threads": 2, "users": null, "trials": 100},
+            {"name": "candidate_install/cold", "wall_ms": 9.9, "ns_per_op": 1.0,
+             "installs_per_sec": 10.0, "threads": 1}
+        ]}"#;
+        let hub = privlocad_telemetry::Telemetry::new();
+        hub.registry()
+            .counter("edge.fresh_candidate_sets", privlocad_telemetry::Determinism::Deterministic)
+            .add(4);
+        let doc = merge_log(
+            Some(existing),
+            &opts,
+            &[
+                row("candidate_install/cold", None),
+                row("candidate_install/batched", Some(4.4)),
+            ],
+            &hub.to_json(),
+        )
+        .unwrap();
+        let runs = match doc.get("runs") {
+            Some(Json::Arr(runs)) => runs,
+            other => panic!("runs missing: {other:?}"),
+        };
+        let names: Vec<_> =
+            runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, ["fig9", "candidate_install/cold", "candidate_install/batched"]);
+        let section = doc
+            .get("telemetry")
+            .and_then(|t| t.get("candidate_install"))
+            .expect("candidate_install hub");
+        assert_eq!(
+            section
+                .get("counters")
+                .and_then(|c| c.get("edge.fresh_candidate_sets"))
+                .and_then(Json::as_num),
+            Some(4.0)
+        );
+        validate_bench_report(&render(&doc)).expect("merged log must validate");
+    }
+
+    #[test]
+    fn fresh_log_carries_the_required_header() {
+        let opts = parse_args(&args("--seed 5")).unwrap();
+        let hub = privlocad_telemetry::Telemetry::new();
+        let doc = merge_log(
+            None,
+            &opts,
+            &[row("candidate_install/batched", Some(5.0))],
+            &hub.to_json(),
+        )
+        .unwrap();
+        validate_bench_report(&render(&doc)).expect("fresh log must validate");
+    }
+}

@@ -1,0 +1,189 @@
+//! The candidate arena: reusable batched-generation buffers plus the
+//! staged, Arc-shared `(top, candidates, posterior table)` sets a fleet
+//! install distributes to its edges.
+//!
+//! The pre-arena install path paid, **per edge**: one `Vec` clone of every
+//! candidate set plus one posterior-table build (`n` exponentials). The
+//! arena moves all of that to the authority: candidates are drawn once
+//! through the batched lane kernel, each set lands in one `Arc<[Point]>`,
+//! and each *distinct* set gets exactly one `Arc<PosteriorTable>` — edges
+//! then install `Arc::clone` handles. Because a candidate set is permanent
+//! and a posterior table is a pure deterministic function of
+//! `(candidates, σ)`, sharing the allocations cannot change any reported
+//! location.
+
+use std::sync::Arc;
+
+use privlocad_geo::Point;
+use privlocad_mechanisms::{BatchScratch, CandidateLanes, PosteriorSelector, PosteriorTable};
+
+use crate::ObfuscationModule;
+
+/// One staged install unit: a queried top location, the shared permanent
+/// candidates covering it, and the shared posterior table over those
+/// candidates.
+#[derive(Debug, Clone)]
+pub struct PreparedSet {
+    top: Point,
+    candidates: Arc<[Point]>,
+    table: Arc<PosteriorTable>,
+}
+
+impl PreparedSet {
+    /// The top location this set was staged for (the *queried* top; the
+    /// covering table anchor may differ by centroid drift).
+    pub fn top(&self) -> Point {
+        self.top
+    }
+
+    /// The shared permanent candidate set.
+    pub fn candidates(&self) -> &Arc<[Point]> {
+        &self.candidates
+    }
+
+    /// The shared posterior table over [`PreparedSet::candidates`].
+    pub fn table(&self) -> &Arc<PosteriorTable> {
+        &self.table
+    }
+}
+
+/// Reusable staging area for fleet-wide protection installs.
+///
+/// Holds the batched-generation scratch (uniform/angle/radius lanes) and
+/// the staged [`PreparedSet`]s of the current install; both keep their
+/// allocations across [`CandidateArena::prepare`] calls, so a long-running
+/// fleet closes windows with zero steady-state allocation beyond the
+/// permanent `Arc`s themselves.
+#[derive(Debug, Default)]
+pub struct CandidateArena {
+    scratch: BatchScratch,
+    lanes: CandidateLanes,
+    sets: Vec<PreparedSet>,
+}
+
+impl CandidateArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        CandidateArena::default()
+    }
+
+    /// Ensures `authority` covers every location of `tops` (batched
+    /// generation, one derived stream per fresh `(window, top)` pair via
+    /// `master`/`pair_counter` — see
+    /// [`ObfuscationModule::obfuscate_top_set_derived`]), then stages one
+    /// [`PreparedSet`] per queried top: the covering shared candidates and
+    /// one shared posterior table per *distinct* covering set. Returns the
+    /// number of freshly generated sets.
+    pub fn prepare(
+        &mut self,
+        authority: &mut ObfuscationModule,
+        tops: &[Point],
+        master: u64,
+        pair_counter: &mut u64,
+    ) -> usize {
+        self.sets.clear();
+        let fresh = authority.obfuscate_top_set_derived(
+            tops,
+            master,
+            pair_counter,
+            &mut self.scratch,
+            &mut self.lanes,
+        );
+        let selector = PosteriorSelector::new(authority.mechanism().sigma());
+        for &top in tops {
+            let candidates = authority
+                .table()
+                .get_shared(top)
+                // lint:allow(panic-hygiene): provably infallible — obfuscate_top_set_derived just covered every queried top
+                .expect("top covered after batched obfuscation");
+            let candidates = Arc::clone(candidates);
+            // Drifted tops can share one covering set; build its posterior
+            // table once and hand out clones.
+            let table = match self.sets.iter().find(|s| Arc::ptr_eq(&s.candidates, &candidates)) {
+                Some(staged) => Arc::clone(&staged.table),
+                None => Arc::new(selector.table(&candidates)),
+            };
+            self.sets.push(PreparedSet { top, candidates, table });
+        }
+        fresh
+    }
+
+    /// The staged sets of the latest [`CandidateArena::prepare`] call.
+    pub fn sets(&self) -> &[PreparedSet] {
+        &self.sets
+    }
+
+    /// Number of staged sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Split-borrow access to the generation buffers, for install paths
+    /// that batch candidates without staging shared sets (an edge device's
+    /// own window close).
+    pub(crate) fn buffers(&mut self) -> (&mut BatchScratch, &mut CandidateLanes) {
+        (&mut self.scratch, &mut self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privlocad_geo::rng::{derive_seed, seeded};
+    use privlocad_mechanisms::{GeoIndParams, Lppm};
+
+    fn authority(n: usize) -> ObfuscationModule {
+        ObfuscationModule::new(GeoIndParams::new(500.0, 1.0, 0.01, n).unwrap(), 200.0)
+    }
+
+    #[test]
+    fn prepare_stages_every_queried_top_with_shared_tables() {
+        let mut auth = authority(6);
+        let mut arena = CandidateArena::new();
+        let mut counter = 0u64;
+        // Two distant tops plus a drifted duplicate of the first.
+        let tops = [Point::new(0.0, 0.0), Point::new(9_000.0, 0.0), Point::new(12.0, 5.0)];
+        let fresh = arena.prepare(&mut auth, &tops, 7, &mut counter);
+        assert_eq!(fresh, 2);
+        assert_eq!(counter, 2);
+        assert_eq!(arena.len(), 3);
+        assert!(!arena.is_empty());
+        // The drifted duplicate shares both allocations with set 0.
+        let sets = arena.sets();
+        assert!(Arc::ptr_eq(sets[0].candidates(), sets[2].candidates()));
+        assert!(Arc::ptr_eq(sets[0].table(), sets[2].table()));
+        assert!(!Arc::ptr_eq(sets[0].candidates(), sets[1].candidates()));
+        // Candidates match the derived-stream scalar reference.
+        let mech = *auth.mechanism();
+        for (k, set) in sets[..2].iter().enumerate() {
+            let mut rng = seeded(derive_seed(7, k as u64));
+            assert_eq!(&set.candidates()[..], mech.obfuscate(set.top(), &mut rng));
+        }
+        // And each table is exactly the per-edge rebuild it replaces.
+        let selector = PosteriorSelector::new(auth.mechanism().sigma());
+        for set in sets {
+            assert_eq!(**set.table(), selector.table(set.candidates()));
+        }
+    }
+
+    #[test]
+    fn prepare_is_permanent_across_calls() {
+        let mut auth = authority(4);
+        let mut arena = CandidateArena::new();
+        let mut counter = 0u64;
+        let tops = [Point::new(0.0, 0.0)];
+        arena.prepare(&mut auth, &tops, 3, &mut counter);
+        let first = Arc::clone(arena.sets()[0].candidates());
+        // Second window: the same top generates nothing new and re-stages
+        // the same permanent allocation.
+        let fresh = arena.prepare(&mut auth, &tops, 3, &mut counter);
+        assert_eq!(fresh, 0);
+        assert_eq!(counter, 1);
+        assert!(Arc::ptr_eq(arena.sets()[0].candidates(), &first));
+    }
+}

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use privlocad_adnet::{AdNetwork, AuctionOutcome, BidRequest, Campaign, DeviceId};
 use privlocad_geo::rng::seeded;
 use privlocad_geo::Point;
@@ -8,9 +10,9 @@ use rand::rngs::StdRng;
 use privlocad_telemetry::{top_key, Determinism, SpendEvent, SpendKind, Telemetry};
 
 use crate::protocol::{ClientRequest, EdgeResponse};
-use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
+use crate::recovery::{restore_user_owned, DeviceSnapshot, RecoveryError, UserRecord};
 use crate::user::{RequestStats, UserMap, UserState};
-use crate::{filter_ads_by, SystemConfig};
+use crate::{filter_ads_by, CandidateArena, PreparedSet, SystemConfig};
 
 /// What the edge hands back to the mobile device for one ad request.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +119,10 @@ pub struct EdgeDevice {
     /// undelivered buffer together with the device state it described, and
     /// the post-restore retry regenerates both identically.
     pending_spends: Vec<SpendEvent>,
+    /// Reusable batched candidate-generation buffers, shared by every
+    /// window close on this device. Pure scratch: never part of a
+    /// snapshot, never observable in outputs.
+    arena: CandidateArena,
 }
 
 impl EdgeDevice {
@@ -129,6 +135,7 @@ impl EdgeDevice {
             rng: seeded(seed),
             stats: DeviceStats::default(),
             pending_spends: Vec::new(),
+            arena: CandidateArena::new(),
         }
     }
 
@@ -162,7 +169,8 @@ impl EdgeDevice {
         let config = self.config;
         let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
         let sets_before = state.obfuscation.table().len();
-        let fresh = state.finalize_window(&config, &mut self.rng);
+        let (scratch, lanes) = self.arena.buffers();
+        let fresh = state.finalize_window_with(&config, &mut self.rng, scratch, lanes);
         self.stats.windows_closed += 1;
         self.pending_spends
             .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::WindowClose });
@@ -201,24 +209,26 @@ impl EdgeDevice {
     /// candidate sets — the second half of the multi-edge flow. Candidate
     /// sets for already-covered locations are ignored (permanence).
     ///
-    /// Pre-warms the posterior-selection cache for the installed top set,
-    /// so the first ad request after installation already serves from
-    /// cache.
+    /// The staged sets arrive as shared [`PreparedSet`] handles (see
+    /// [`CandidateArena::prepare`]): installing is an `Arc` bump, not a
+    /// `Vec` clone, and the pre-warmed posterior tables are shared too —
+    /// the first ad request after installation serves from cache without
+    /// this device ever rebuilding a table the authority already built.
     pub fn install_protection(
         &mut self,
         user: UserId,
         tops: Vec<privlocad_attack::ProfileEntry>,
-        candidate_sets: &[(Point, Vec<Point>)],
+        sets: &[PreparedSet],
     ) {
         let config = self.config;
         let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
         state.manager.set_top_set(tops);
         state.selection.invalidate();
         let sets_before = state.obfuscation.table().len();
-        for (top, candidates) in candidate_sets {
-            state.obfuscation.install(*top, candidates.clone());
+        for set in sets {
+            state.obfuscation.install_shared(set.top(), Arc::clone(set.candidates()));
         }
-        state.warm_selection(&config);
+        state.warm_selection_prepared(&config, sets);
         // The fleet spent the budget when it generated these sets; the
         // install point is where this device's ledger learns about it.
         record_fresh_sets(
@@ -274,7 +284,7 @@ impl EdgeDevice {
     /// planar-Laplace obfuscation for nomadic positions.
     pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
         // Split borrows: no per-request copy of the config.
-        let Self { users, config, nomadic, rng, stats, pending_spends } = self;
+        let Self { users, config, nomadic, rng, stats, pending_spends, .. } = self;
         let state = users.entry_or_insert_with(user, || UserState::new(config));
         let sets_before = state.obfuscation.table().len();
         let mut request = RequestStats::default();
@@ -351,15 +361,32 @@ impl EdgeDevice {
         config: SystemConfig,
         snapshot: &DeviceSnapshot,
     ) -> Result<EdgeDevice, RecoveryError> {
+        Self::restore_from(config, snapshot.clone())
+    }
+
+    /// [`EdgeDevice::restore`], consuming the snapshot: every user record's
+    /// buffers, profile, top set, and posterior CDFs are moved into the
+    /// rebuilt device instead of cloned. Prefer this on paths that own the
+    /// decoded snapshot (checkpoint restores decode a fresh one anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] if the snapshot carries a corrupt table
+    /// image or an invalid posterior table.
+    pub fn restore_from(
+        config: SystemConfig,
+        snapshot: DeviceSnapshot,
+    ) -> Result<EdgeDevice, RecoveryError> {
         let mut device = EdgeDevice::new(config, 0);
         device.rng = StdRng::from_state(snapshot.rng_state);
-        for record in &snapshot.users {
-            let state = restore_user(&config, record)?;
-            *device.users.entry_or_insert_with(record.user, || UserState::new(&config)) = state;
+        for record in snapshot.users {
+            let user = record.user;
+            let state = restore_user_owned(&config, record)?;
+            *device.users.entry_or_insert_with(user, || UserState::new(&config)) = state;
             device.stats.restores += 1;
             device
                 .pending_spends
-                .push(SpendEvent { user: u64::from(record.user.raw()), kind: SpendKind::Restore });
+                .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::Restore });
         }
         Ok(device)
     }

@@ -1,12 +1,11 @@
 use std::collections::BTreeMap;
 
 use privlocad_attack::LocationProfile;
-use privlocad_geo::rng::{derive_seed, seeded};
+use privlocad_geo::rng::derive_seed;
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
-use rand::rngs::StdRng;
 
-use crate::{frequent_location_set, EdgeDevice, ObfuscationModule, SystemConfig};
+use crate::{frequent_location_set, CandidateArena, EdgeDevice, ObfuscationModule, SystemConfig};
 
 /// A fleet of edge devices covering different parts of the city
 /// (Section V-B's multi-edge scenario).
@@ -48,7 +47,15 @@ pub struct EdgeFleet {
     sites: Vec<Point>,
     edges: Vec<EdgeDevice>,
     authorities: BTreeMap<UserId, ObfuscationModule>,
-    rng: StdRng,
+    /// Batched-generation buffers plus the staged shared sets of the
+    /// current install, reused across every window close.
+    arena: CandidateArena,
+    /// Master seed of the fleet's derived candidate streams.
+    master: u64,
+    /// Monotone `(window, top)` pair counter: each fresh candidate set
+    /// draws from stream `derive_seed(master, counter++)`, so streams
+    /// never overlap regardless of batch boundaries.
+    pair_counter: u64,
 }
 
 impl EdgeFleet {
@@ -63,7 +70,15 @@ impl EdgeFleet {
         let edges = (0..sites.len())
             .map(|i| EdgeDevice::new(config, derive_seed(seed, i as u64)))
             .collect();
-        EdgeFleet { config, sites, edges, authorities: BTreeMap::new(), rng: seeded(seed) }
+        EdgeFleet {
+            config,
+            sites,
+            edges,
+            authorities: BTreeMap::new(),
+            arena: CandidateArena::new(),
+            master: seed,
+            pair_counter: 0,
+        }
     }
 
     /// Number of edge devices.
@@ -124,19 +139,21 @@ impl EdgeFleet {
 
         // 3. One fleet-level obfuscation authority per user: candidates
         //    are drawn once, permanently, regardless of which edge asked.
+        //    The arena batch-generates every fresh set through the lane
+        //    kernel and stages shared `(candidates, posterior table)`
+        //    handles for all queried tops.
         let authority = self.authorities.entry(user).or_insert_with(|| {
             ObfuscationModule::new(self.config.geo_ind(), self.config.top_match_radius_m())
         });
         let top_points: Vec<Point> = tops.iter().map(|e| e.location).collect();
-        let fresh = authority.obfuscate_top_set(&top_points, &mut self.rng);
-        let candidate_sets: Vec<(Point, Vec<Point>)> = top_points
-            .iter()
-            .map(|&t| (t, authority.candidates_for(t, &mut self.rng).to_vec()))
-            .collect();
+        let fresh =
+            self.arena.prepare(authority, &top_points, self.master, &mut self.pair_counter);
 
-        // 4. Install the merged protection on every edge.
+        // 4. Install the merged protection on every edge: per edge this is
+        //    an `Arc` bump per set, not a candidate-vector clone plus a
+        //    posterior-table rebuild.
         for edge in &mut self.edges {
-            edge.install_protection(user, tops.clone(), &candidate_sets);
+            edge.install_protection(user, tops.clone(), self.arena.sets());
         }
         fresh
     }
@@ -227,6 +244,60 @@ mod tests {
         let fresh = f.finalize_user_window(user);
         assert_eq!(fresh, 0, "no re-release for a known top location");
         assert_eq!(f.edge(1).candidates(user, home).unwrap(), before);
+    }
+
+    #[test]
+    fn batched_install_keeps_edge_telemetry_and_ledger_unchanged() {
+        use privlocad_telemetry::{top_key, Telemetry};
+
+        let mut f = fleet();
+        let user = UserId::new(4);
+        let home = Point::new(80.0, 0.0);
+        let office = Point::new(11_920.0, 0.0);
+        for _ in 0..60 {
+            f.report_checkin(user, home);
+        }
+        for _ in 0..40 {
+            f.report_checkin(user, office);
+        }
+        assert_eq!(f.finalize_user_window(user), 2);
+
+        // Each edge ledgers the install of both merged sets exactly once —
+        // the Arc-shared install path must be indistinguishable from the
+        // old per-edge clone in every counter and spend event. (One hub
+        // per edge: both edges legitimately hold the same released sets,
+        // which a shared ledger would misread as a double spend.)
+        for edge in &mut f.edges {
+            let telemetry = Telemetry::new();
+            edge.drain_telemetry(&telemetry);
+            let metrics = telemetry.registry().snapshot();
+            assert_eq!(metrics.counter("edge.fresh_candidate_sets"), Some(2));
+            assert_eq!(metrics.counter("edge.windows_closed"), Some(1));
+            let live: Vec<(u64, _)> = edge
+                .snapshot()
+                .released_sets()
+                .unwrap()
+                .into_iter()
+                .map(|(u, p)| (u64::from(u.raw()), top_key(p.x, p.y)))
+                .collect();
+            assert_eq!(live.len(), 2);
+            telemetry.ledger().assert_no_double_spend(live).unwrap();
+            assert_eq!(telemetry.ledger().totals().candidate_sets, 2);
+        }
+
+        // A later window over known tops re-installs the same shared sets:
+        // nothing fresh, and not a single new candidate-set spend.
+        for _ in 0..30 {
+            f.report_checkin(user, home);
+        }
+        assert_eq!(f.finalize_user_window(user), 0);
+        for edge in &mut f.edges {
+            let telemetry = Telemetry::new();
+            edge.drain_telemetry(&telemetry);
+            let metrics = telemetry.registry().snapshot();
+            assert_eq!(metrics.counter("edge.fresh_candidate_sets"), Some(0));
+            assert_eq!(telemetry.ledger().totals().candidate_sets, 0);
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod concurrent;
 mod config;
 mod edge;
@@ -71,6 +72,7 @@ mod server;
 mod system;
 mod user;
 
+pub use arena::{CandidateArena, PreparedSet};
 pub use concurrent::SharedEdgeDevice;
 pub use recovery::{candidate_redraws, DeviceSnapshot, RecoveryError};
 pub use risk::{LocationRisk, Recommendation, RiskAssessor, RiskReport};

@@ -1,6 +1,8 @@
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use privlocad_geo::Point;
-use privlocad_mechanisms::{GeoIndParams, Lppm, NFoldGaussian};
+use privlocad_mechanisms::{BatchScratch, CandidateLanes, GeoIndParams, Lppm, NFoldGaussian};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -14,10 +16,15 @@ use serde::{Deserialize, Serialize};
 /// same place — exactly the longitudinal leak the system exists to stop.
 /// Any top location within the table's `match_radius_m` of a recorded one
 /// re-uses the recorded candidates.
+///
+/// Candidate sets are stored as `Arc<[Point]>`: once released they are
+/// immutable, so a fleet authority and every edge serving the user can
+/// hold the *same* allocation ([`ObfuscationTable::insert_shared`]) instead
+/// of cloning the set per device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObfuscationTable {
     match_radius_m: f64,
-    entries: Vec<(Point, Vec<Point>)>,
+    entries: Vec<(Point, Arc<[Point]>)>,
 }
 
 impl ObfuscationTable {
@@ -59,7 +66,14 @@ impl ObfuscationTable {
     /// Looks up the permanent candidates covering `location`: the nearest
     /// recorded top within the match radius.
     pub fn get(&self, location: Point) -> Option<&[Point]> {
-        self.position(location).map(|i| self.entries[i].1.as_slice())
+        self.position(location).map(|i| &*self.entries[i].1)
+    }
+
+    /// The shared handle to the candidates covering `location` — the
+    /// zero-copy handoff the fleet install path uses to give every edge
+    /// the same allocation.
+    pub fn get_shared(&self, location: Point) -> Option<&Arc<[Point]>> {
+        self.position(location).map(|i| &self.entries[i].1)
     }
 
     /// Returns `true` if `location` is covered by a recorded top location.
@@ -72,6 +86,12 @@ impl ObfuscationTable {
     /// If `location` is already covered, the existing set is kept — once
     /// released, a candidate set is permanent — and `false` is returned.
     pub fn insert(&mut self, location: Point, candidates: Vec<Point>) -> bool {
+        self.insert_shared(location, candidates.into())
+    }
+
+    /// [`ObfuscationTable::insert`] for an already-shared candidate set —
+    /// an `Arc::clone`, no copy of the points.
+    pub fn insert_shared(&mut self, location: Point, candidates: Arc<[Point]>) -> bool {
         if self.contains(location) {
             return false;
         }
@@ -79,16 +99,27 @@ impl ObfuscationTable {
         true
     }
 
+    /// Drops every entry while keeping the allocated capacity, so a table
+    /// buffer can be reused across logical installs (a device wiping a
+    /// departed user, or benchmark steady state) without reallocating.
+    ///
+    /// This does **not** weaken permanence: the permanence contract binds
+    /// the *user's* protection state, which the edge only clears when the
+    /// whole state is retired together.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// The candidate set at entry `idx` (insertion order).
     fn candidates_at(&self, idx: usize) -> &[Point] {
-        self.entries[idx].1.as_slice()
+        &self.entries[idx].1
     }
 
     /// Iterates the `(top location, candidates)` entries in release
     /// order — used by crash recovery to verify that a restored table
     /// kept every released candidate set bit-for-bit.
     pub fn entries(&self) -> impl Iterator<Item = (Point, &[Point])> {
-        self.entries.iter().map(|(top, candidates)| (*top, candidates.as_slice()))
+        self.entries.iter().map(|(top, candidates)| (*top, &**candidates))
     }
 
     /// Number of protected top locations.
@@ -118,7 +149,7 @@ impl ObfuscationTable {
             buf.put_f64(top.x);
             buf.put_f64(top.y);
             buf.put_u32(candidates.len() as u32);
-            for c in candidates {
+            for c in candidates.iter() {
                 buf.put_f64(c.x);
                 buf.put_f64(c.y);
             }
@@ -276,18 +307,97 @@ impl ObfuscationModule {
         self.table.insert(top, candidates)
     }
 
+    /// [`ObfuscationModule::install`] for a candidate set already shared
+    /// behind an `Arc` — the fleet distribution path, one `Arc::clone` per
+    /// edge instead of a per-edge copy of the points.
+    pub fn install_shared(&mut self, top: Point, candidates: Arc<[Point]>) -> bool {
+        self.table.insert_shared(top, candidates)
+    }
+
     /// Ensures every location in `tops` is covered; returns how many new
     /// candidate sets were generated (the Table II workload per user).
+    ///
+    /// Candidates are drawn through the batched lane kernel, consuming
+    /// `rng` in exactly the order the per-top scalar loop would — the
+    /// output is bit-for-bit what the pre-batching implementation
+    /// released from the same stream.
     pub fn obfuscate_top_set(&mut self, tops: &[Point], rng: &mut dyn RngCore) -> usize {
-        let mut fresh = 0;
+        let mut scratch = BatchScratch::new();
+        let mut lanes = CandidateLanes::new();
+        self.obfuscate_top_set_with(tops, rng, &mut scratch, &mut lanes)
+    }
+
+    /// Scratch-reusing variant of [`ObfuscationModule::obfuscate_top_set`]
+    /// for callers that close many windows (an edge device, the bench
+    /// harness): the uniform/angle/radius lanes live in `scratch`/`lanes`
+    /// and are reused across calls.
+    pub fn obfuscate_top_set_with(
+        &mut self,
+        tops: &[Point],
+        rng: &mut dyn RngCore,
+        scratch: &mut BatchScratch,
+        lanes: &mut CandidateLanes,
+    ) -> usize {
+        let fresh = self.select_fresh(tops);
+        if fresh.is_empty() {
+            return 0;
+        }
+        lanes.clear();
+        self.mechanism.obfuscate_shared_stream_into(&fresh, rng, scratch, lanes);
+        self.install_lanes(&fresh, lanes)
+    }
+
+    /// Fleet-authority variant: each fresh top draws from its **own
+    /// derived stream** `seeded(derive_seed(master, *pair_counter + k))`,
+    /// and `pair_counter` advances by the number of fresh sets — giving
+    /// every `(user-window, top)` pair a globally unique stream index, so
+    /// the generated candidates are independent of batch boundaries and of
+    /// how many users closed windows before this one on any given thread.
+    pub fn obfuscate_top_set_derived(
+        &mut self,
+        tops: &[Point],
+        master: u64,
+        pair_counter: &mut u64,
+        scratch: &mut BatchScratch,
+        lanes: &mut CandidateLanes,
+    ) -> usize {
+        let fresh = self.select_fresh(tops);
+        if fresh.is_empty() {
+            return 0;
+        }
+        lanes.clear();
+        self.mechanism.obfuscate_many_into(&fresh, master, *pair_counter, scratch, lanes);
+        *pair_counter += fresh.len() as u64;
+        self.install_lanes(&fresh, lanes)
+    }
+
+    /// The tops needing a fresh candidate set, in input order.
+    ///
+    /// Mirrors the scalar insert-as-you-go loop exactly: a top is fresh
+    /// unless the table already covers it *or* an earlier fresh top of
+    /// this same batch lands within the match radius (the scalar loop
+    /// would have inserted that one before checking this one).
+    fn select_fresh(&self, tops: &[Point]) -> Vec<Point> {
+        let radius_sq = self.table.match_radius_m() * self.table.match_radius_m();
+        let mut fresh: Vec<Point> = Vec::new();
         for &top in tops {
-            if !self.table.contains(top) {
-                let candidates = self.mechanism.obfuscate(top, rng);
-                self.table.insert(top, candidates);
-                fresh += 1;
+            let covered = self.table.contains(top)
+                || fresh.iter().any(|f| f.distance_sq(top) <= radius_sq);
+            if !covered {
+                fresh.push(top);
             }
         }
         fresh
+    }
+
+    /// Installs the generated lanes: `n` consecutive points per fresh top,
+    /// each copied once into its permanent `Arc<[Point]>` home.
+    fn install_lanes(&mut self, fresh: &[Point], lanes: &CandidateLanes) -> usize {
+        let n = self.mechanism.params().n();
+        for (i, &top) in fresh.iter().enumerate() {
+            self.table.insert_shared(top, lanes.arc_points(i * n..(i + 1) * n));
+        }
+        fresh.len()
     }
 }
 
@@ -309,6 +419,18 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 10);
         assert_eq!(m.table().len(), 1);
+    }
+
+    #[test]
+    fn cleared_table_accepts_reinstalls() {
+        let mut table = ObfuscationTable::new(200.0);
+        let top = Point::new(5.0, 5.0);
+        assert!(table.insert(top, vec![Point::ORIGIN]));
+        assert!(!table.insert(top, vec![Point::ORIGIN]), "permanent while live");
+        table.clear();
+        assert!(table.is_empty());
+        assert!(table.insert(top, vec![Point::new(1.0, 1.0)]), "retired state reinstalls");
+        assert_eq!(table.len(), 1);
     }
 
     #[test]
@@ -362,6 +484,73 @@ mod tests {
         let more = [Point::new(20.0, 0.0), Point::new(0.0, 8_000.0)];
         assert_eq!(m.obfuscate_top_set(&more, &mut rng), 1);
         assert_eq!(m.table().len(), 3);
+    }
+
+    #[test]
+    fn obfuscate_top_set_matches_the_scalar_reference_stream() {
+        // Bit-identity with the pre-batching per-top loop: the batched
+        // kernel consumes the same rng stream and releases the same points,
+        // including the interleaved skip of a top covered by an earlier
+        // fresh set of the same batch.
+        let mut m = module(5);
+        let mut rng = seeded(21);
+        let tops = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0), // within 200 m of the first: no own set
+            Point::new(5_000.0, 0.0),
+        ];
+        assert_eq!(m.obfuscate_top_set(&tops, &mut rng), 2);
+        let mech = *m.mechanism();
+        let mut scalar_rng = seeded(21);
+        let first = mech.obfuscate(tops[0], &mut scalar_rng);
+        let third = mech.obfuscate(tops[2], &mut scalar_rng);
+        assert_eq!(m.table().get(tops[0]).unwrap(), &first[..]);
+        assert_eq!(m.table().get(tops[2]).unwrap(), &third[..]);
+        assert_eq!(m.table().len(), 2);
+    }
+
+    #[test]
+    fn derived_top_set_streams_are_indexed_by_pair_counter() {
+        use privlocad_geo::rng::derive_seed;
+        use privlocad_mechanisms::{BatchScratch, CandidateLanes};
+        let mut m = module(4);
+        let mut scratch = BatchScratch::new();
+        let mut lanes = CandidateLanes::new();
+        let mut counter = 3u64;
+        let tops = [Point::new(0.0, 0.0), Point::new(9_000.0, 0.0)];
+        assert_eq!(
+            m.obfuscate_top_set_derived(&tops, 55, &mut counter, &mut scratch, &mut lanes),
+            2
+        );
+        assert_eq!(counter, 5);
+        let mech = *m.mechanism();
+        for (k, &top) in tops.iter().enumerate() {
+            let mut rng = seeded(derive_seed(55, 3 + k as u64));
+            assert_eq!(m.table().get(top).unwrap(), &mech.obfuscate(top, &mut rng)[..]);
+        }
+        // Re-running generates nothing and leaves the counter untouched —
+        // candidate permanence survives the batched path.
+        assert_eq!(
+            m.obfuscate_top_set_derived(&tops, 55, &mut counter, &mut scratch, &mut lanes),
+            0
+        );
+        assert_eq!(counter, 5);
+    }
+
+    #[test]
+    fn shared_installs_reuse_one_allocation() {
+        use std::sync::Arc;
+        let mut a = module(3);
+        let mut b = module(3);
+        let candidates: Arc<[Point]> = vec![Point::new(1.0, 2.0); 3].into();
+        assert!(a.install_shared(Point::ORIGIN, Arc::clone(&candidates)));
+        assert!(b.install_shared(Point::ORIGIN, Arc::clone(&candidates)));
+        // Two tables, three handles, one allocation.
+        assert_eq!(Arc::strong_count(&candidates), 3);
+        assert!(Arc::ptr_eq(a.table().get_shared(Point::ORIGIN).unwrap(), &candidates));
+        // Permanence still holds for the shared path.
+        assert!(!a.install_shared(Point::new(5.0, 0.0), Arc::clone(&candidates)));
+        assert_eq!(a.table().len(), 1);
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl UserRecord {
             tables: state
                 .selection
                 .entries()
-                .map(|(top, table)| (*top, table.cdf().to_vec()))
+                .map(|(top, table)| (top, table.cdf().to_vec()))
                 .collect(),
         }
     }
@@ -102,20 +102,32 @@ pub(crate) fn restore_user(
     config: &SystemConfig,
     record: &UserRecord,
 ) -> Result<UserState, RecoveryError> {
+    restore_user_owned(config, record.clone())
+}
+
+/// [`restore_user`], consuming the record: the check-in buffer, profile,
+/// top set, and posterior CDFs move straight into the rebuilt state with
+/// no intermediate clones. Restore paths that own the decoded snapshot
+/// (see [`crate::EdgeDevice::restore_from`]) should prefer this.
+pub(crate) fn restore_user_owned(
+    config: &SystemConfig,
+    record: UserRecord,
+) -> Result<UserState, RecoveryError> {
+    let user = record.user.raw();
     let mut manager = LocationManager::new(config.profile_theta_m(), config.eta());
     manager.restore_window_state(
-        record.buffer.clone(),
-        LocationProfile::from_ordered_entries(record.profile.iter().copied()),
-        record.top_set.clone(),
+        record.buffer,
+        LocationProfile::from_ordered_entries(record.profile),
+        record.top_set,
         record.windows_closed as usize,
     );
     let obfuscation = ObfuscationModule::with_restored_table(config.geo_ind(), &record.table_image)
         .map_err(RecoveryError::Table)?;
     let mut selection = SelectionCache::new();
-    for (top, cdf) in &record.tables {
-        let table = PosteriorTable::from_cdf(cdf.clone())
-            .ok_or(RecoveryError::InvalidPosterior { user: record.user.raw() })?;
-        selection.install(*top, table);
+    for (top, cdf) in record.tables {
+        let table =
+            PosteriorTable::from_cdf(cdf).ok_or(RecoveryError::InvalidPosterior { user })?;
+        selection.install(top, table);
     }
     Ok(UserState { manager, obfuscation, selection })
 }

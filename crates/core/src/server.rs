@@ -789,7 +789,7 @@ fn restore_checkpoint(
     edge: &mut EdgeDevice,
 ) -> Result<(), crate::recovery::RecoveryError> {
     let snapshot = DeviceSnapshot::decode(log)?;
-    *edge = EdgeDevice::restore(config, &snapshot)?;
+    *edge = EdgeDevice::restore_from(config, snapshot)?;
     Ok(())
 }
 

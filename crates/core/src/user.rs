@@ -7,15 +7,17 @@
 //! two devices stay behaviorally identical: given the same RNG stream they
 //! produce the same reported locations bit-for-bit.
 
+use std::sync::Arc;
+
 use privlocad_geo::Point;
 use privlocad_mechanisms::{
-    PlanarLaplace, PosteriorSelector, PosteriorTable, SelectionCache, SelectionStrategy,
-    UniformSelector,
+    BatchScratch, CandidateLanes, PlanarLaplace, PosteriorSelector, PosteriorTable,
+    SelectionCache, SelectionStrategy, UniformSelector,
 };
 use privlocad_mobility::UserId;
 use rand::RngCore;
 
-use crate::{LocationManager, ObfuscationModule, SelectionKind, SystemConfig};
+use crate::{LocationManager, ObfuscationModule, PreparedSet, SelectionKind, SystemConfig};
 
 /// A user-keyed directory backed by parallel sorted vectors: binary search
 /// over a dense `UserId` array beats a `BTreeMap` walk on the per-request
@@ -249,10 +251,24 @@ impl UserState {
         config: &SystemConfig,
         rng: &mut dyn RngCore,
     ) -> usize {
+        let mut scratch = BatchScratch::new();
+        let mut lanes = CandidateLanes::new();
+        self.finalize_window_with(config, rng, &mut scratch, &mut lanes)
+    }
+
+    /// [`UserState::finalize_window`] with caller-owned generation buffers
+    /// (an edge device reuses one pair across every window close).
+    pub(crate) fn finalize_window_with(
+        &mut self,
+        config: &SystemConfig,
+        rng: &mut dyn RngCore,
+        scratch: &mut BatchScratch,
+        lanes: &mut CandidateLanes,
+    ) -> usize {
         let tops: Vec<Point> =
             self.manager.finalize_window().iter().map(|e| e.location).collect();
         self.selection.invalidate();
-        let fresh = self.obfuscation.obfuscate_top_set(&tops, rng);
+        let fresh = self.obfuscation.obfuscate_top_set_with(&tops, rng, scratch, lanes);
         self.warm_selection(config);
         fresh
     }
@@ -270,6 +286,34 @@ impl UserState {
             let top = entry.location;
             if let Some(candidates) = self.obfuscation.table().get(top) {
                 self.selection.table_for(top, &selector, candidates);
+            }
+        }
+    }
+
+    /// [`UserState::warm_selection`] fed by a fleet install: when the
+    /// covering candidates are the very allocation a [`PreparedSet`]
+    /// staged, the prepared table is installed as a shared handle — no
+    /// per-edge rebuild. A posterior table is a pure function of
+    /// `(candidates, σ)`, so the shared handle draws bit-for-bit what the
+    /// rebuild would; tops covered by an unrelated allocation (an older
+    /// entry of this device's own table) fall back to the local build.
+    pub(crate) fn warm_selection_prepared(&mut self, config: &SystemConfig, sets: &[PreparedSet]) {
+        if config.selection() != SelectionKind::Posterior {
+            return;
+        }
+        let selector = PosteriorSelector::new(self.obfuscation.mechanism().sigma());
+        for entry in self.manager.top_set() {
+            let top = entry.location;
+            let Some(candidates) = self.obfuscation.table().get_shared(top) else {
+                continue;
+            };
+            match sets.iter().find(|s| Arc::ptr_eq(s.candidates(), candidates)) {
+                Some(prepared) => {
+                    self.selection.install_shared(top, Arc::clone(prepared.table()));
+                }
+                None => {
+                    self.selection.table_for(top, &selector, candidates);
+                }
             }
         }
     }

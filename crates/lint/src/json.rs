@@ -306,6 +306,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
             .ok_or(format!("runs[{i}] missing numeric key `wall_ms`"))?;
         validate_serve_row(i, name, run)?;
         validate_chaos_row(i, name, run)?;
+        validate_microbench_row(i, name, run)?;
     }
     if let Some(telemetry) = doc.get("telemetry") {
         validate_telemetry_section(telemetry)?;
@@ -456,6 +457,51 @@ fn validate_chaos_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the candidate-install rows appended by `microbench`: any run
+/// named `candidate_install/...` — and, symmetrically, any run that claims
+/// an `ns_per_op` figure — must carry the full install record (finite
+/// `ns_per_op` > 0, `installs_per_sec` > 0, integral `threads` ≥ 1), and a
+/// `ratio`, when present, must be a finite speedup ≥ 1 — so the batched
+/// path's headline number is never published without the per-op cost and
+/// parallelism behind it, and a regression can't masquerade as a speedup.
+fn validate_microbench_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    let is_install = name == "candidate_install" || name.starts_with("candidate_install/");
+    let has_ns = run.get("ns_per_op").is_some();
+    if !is_install && !has_ns {
+        return Ok(());
+    }
+    for key in ["ns_per_op", "installs_per_sec"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("runs[{i}] (`{name}`) has non-positive `{key}` {v}"));
+        }
+    }
+    let threads = run
+        .get("threads")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `threads`"))?;
+    // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+    if threads.fract() != 0.0 || threads < 1.0 {
+        return Err(format!(
+            "runs[{i}] (`{name}`) has invalid `threads` {threads} (want integer >= 1)"
+        ));
+    }
+    if let Some(ratio) = run.get("ratio") {
+        let ratio = ratio
+            .as_num()
+            .ok_or(format!("runs[{i}] (`{name}`) has a non-numeric `ratio`"))?;
+        if !ratio.is_finite() || ratio < 1.0 {
+            return Err(format!(
+                "runs[{i}] (`{name}`) has invalid `ratio` {ratio} (want finite >= 1)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +617,52 @@ mod tests {
         // Any row claiming faults_injected needs the record, chaos-named or not.
         let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "faults_injected": 3}"#);
         assert!(validate_bench_report(&sneaky).unwrap_err().contains("requests_survived"));
+    }
+
+    #[test]
+    fn candidate_install_rows_require_the_full_install_record() {
+        let report = |row: &str| {
+            format!(r#"{{"experiment": "microbench", "seed": 0, "threads": 1, "runs": [{row}]}}"#)
+        };
+        let good = report(
+            r#"{"name": "candidate_install/batched", "wall_ms": 0.3, "ns_per_op": 78.0,
+                "installs_per_sec": 1.2e7, "threads": 1, "ratio": 4.7}"#,
+        );
+        assert!(validate_bench_report(&good).is_ok());
+        // The cold row legitimately carries no ratio.
+        let cold = report(
+            r#"{"name": "candidate_install/cold", "wall_ms": 1.3, "ns_per_op": 325.0,
+                "installs_per_sec": 3.0e6, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&cold).is_ok());
+        // A candidate row missing its record is rejected...
+        let missing = report(r#"{"name": "candidate_install/cold", "wall_ms": 1.0}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("ns_per_op"));
+        let no_rate = report(
+            r#"{"name": "candidate_install/cold", "wall_ms": 1.0, "ns_per_op": 5.0,
+                "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&no_rate).unwrap_err().contains("installs_per_sec"));
+        // ...as are nonsense values.
+        let zero_ns = report(
+            r#"{"name": "candidate_install/cold", "wall_ms": 1.0, "ns_per_op": 0,
+                "installs_per_sec": 1.0, "threads": 1}"#,
+        );
+        assert!(validate_bench_report(&zero_ns).is_err());
+        let frac_threads = report(
+            r#"{"name": "candidate_install/cold", "wall_ms": 1.0, "ns_per_op": 5.0,
+                "installs_per_sec": 1.0, "threads": 1.5}"#,
+        );
+        assert!(validate_bench_report(&frac_threads).is_err());
+        // A speedup below 1 is a regression wearing a ratio, not a speedup.
+        let shrinking = report(
+            r#"{"name": "candidate_install/batched", "wall_ms": 1.0, "ns_per_op": 5.0,
+                "installs_per_sec": 1.0, "threads": 1, "ratio": 0.8}"#,
+        );
+        assert!(validate_bench_report(&shrinking).unwrap_err().contains("ratio"));
+        // Any row claiming ns_per_op needs the record, install-named or not.
+        let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "ns_per_op": 5.0}"#);
+        assert!(validate_bench_report(&sneaky).unwrap_err().contains("installs_per_sec"));
     }
 
     #[test]

@@ -2,7 +2,7 @@ use privlocad_geo::{centroid, rng::uniform_angle, Point};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
-use crate::{GeoIndParams, Lppm, MechanismError};
+use crate::{BatchScratch, CandidateLanes, GeoIndParams, Lppm, MechanismError};
 
 /// The paper's n-fold Gaussian mechanism (Definition 7, Algorithm 3).
 ///
@@ -109,6 +109,17 @@ impl Lppm for NFoldGaussian {
         for _ in 0..self.params.n() {
             out.push(self.sample_one(real, rng));
         }
+    }
+
+    fn obfuscate_many(&self, reals: &[Point], master: u64, first_index: u64, out: &mut Vec<Point>) {
+        // Lane-oriented override of the per-real scalar default; bit-for-bit
+        // identical under the same derive_seed(master, first_index + i)
+        // stream contract (see crate::batch).
+        let mut scratch = BatchScratch::new();
+        let mut lanes = CandidateLanes::new();
+        self.obfuscate_many_into(reals, master, first_index, &mut scratch, &mut lanes);
+        out.reserve(lanes.len());
+        out.extend(lanes.iter());
     }
 
     fn output_count(&self) -> usize {

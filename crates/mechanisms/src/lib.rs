@@ -40,6 +40,7 @@
 
 mod accounting;
 mod baselines;
+mod batch;
 mod error;
 mod gaussian;
 pub mod lambert_w;
@@ -53,6 +54,7 @@ pub mod verifier;
 
 pub use accounting::{basic_composition, split_budget};
 pub use baselines::{NaivePostProcessing, PlainComposition};
+pub use batch::{BatchScratch, CandidateLanes};
 pub use error::MechanismError;
 pub use gaussian::NFoldGaussian;
 pub use params::{GeoIndParams, PlanarLaplaceParams};

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use privlocad_geo::{centroid, Point};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -347,9 +349,15 @@ impl PosteriorTable {
 /// [`SelectionCache::invalidate`] drops everything; because the tables
 /// are pure post-processing state derived from permanent candidates,
 /// invalidation can never change outputs, only cost.
+///
+/// Tables are held behind `Arc` so a fleet-level install can build each
+/// table *once* and hand every edge the same allocation
+/// ([`SelectionCache::install_shared`]); a table is a pure deterministic
+/// function of `(candidates, σ)`, so sharing one instead of rebuilding
+/// per edge cannot change any draw.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SelectionCache {
-    entries: Vec<(Point, PosteriorTable)>,
+    entries: Vec<(Point, Arc<PosteriorTable>)>,
 }
 
 impl SelectionCache {
@@ -376,19 +384,26 @@ impl SelectionCache {
 
     /// The cached table for `top`, if one was built.
     pub fn get(&self, top: Point) -> Option<&PosteriorTable> {
-        self.entries.iter().find(|(t, _)| *t == top).map(|(_, table)| table)
+        self.entries.iter().find(|(t, _)| *t == top).map(|(_, table)| &**table)
     }
 
     /// Iterates the cached `(top, table)` pairs in insertion order, for
     /// checkpointing.
-    pub fn entries(&self) -> impl Iterator<Item = &(Point, PosteriorTable)> {
-        self.entries.iter()
+    pub fn entries(&self) -> impl Iterator<Item = (Point, &PosteriorTable)> {
+        self.entries.iter().map(|(top, table)| (*top, &**table))
     }
 
     /// Installs a restored table for `top`, replacing any existing entry
     /// with that exact key — the checkpoint-restore counterpart of
     /// [`SelectionCache::table_for`].
     pub fn install(&mut self, top: Point, table: PosteriorTable) {
+        self.install_shared(top, Arc::new(table));
+    }
+
+    /// [`SelectionCache::install`] for a table that is already shared —
+    /// the fleet install path, where one `Arc<PosteriorTable>` built at
+    /// the authority is handed to every edge without a rebuild.
+    pub fn install_shared(&mut self, top: Point, table: Arc<PosteriorTable>) {
         match self.entries.iter().position(|(t, _)| *t == top) {
             Some(i) => self.entries[i].1 = table,
             None => self.entries.push((top, table)),
@@ -430,10 +445,10 @@ impl SelectionCache {
         candidates: &[Point],
     ) -> (bool, &PosteriorTable) {
         match self.entries.iter().position(|(t, _)| *t == top) {
-            Some(i) => (true, &self.entries[i].1),
+            Some(i) => (true, &*self.entries[i].1),
             None => {
-                self.entries.push((top, PosteriorTable::new(selector, candidates)));
-                (false, &self.entries[self.entries.len() - 1].1)
+                self.entries.push((top, Arc::new(PosteriorTable::new(selector, candidates))));
+                (false, &*self.entries[self.entries.len() - 1].1)
             }
         }
     }
@@ -734,7 +749,7 @@ mod tests {
         cache.table_for(Point::new(9_000.0, 0.0), &sel, &cands);
         let mut restored = SelectionCache::new();
         for (top, table) in cache.entries() {
-            restored.install(*top, table.clone());
+            restored.install(top, table.clone());
         }
         assert_eq!(restored, cache);
         // Install replaces on key collision rather than duplicating.
@@ -742,6 +757,29 @@ mod tests {
         restored.install(Point::new(1.0, 1.0), replacement.clone());
         assert_eq!(restored.len(), 2);
         assert_eq!(restored.get(Point::new(1.0, 1.0)), Some(&replacement));
+    }
+
+    #[test]
+    fn install_shared_hands_out_the_same_allocation() {
+        let sel = PosteriorSelector::new(500.0);
+        let cands = [Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let top = Point::new(3.0, 4.0);
+        let shared = std::sync::Arc::new(sel.table(&cands));
+        let mut a = SelectionCache::new();
+        let mut b = SelectionCache::new();
+        a.install_shared(top, std::sync::Arc::clone(&shared));
+        b.install_shared(top, std::sync::Arc::clone(&shared));
+        // Both caches draw identically to a per-edge rebuild...
+        let mut rebuilt = SelectionCache::new();
+        rebuilt.table_for(top, &sel, &cands);
+        assert_eq!(a, rebuilt);
+        assert_eq!(b, rebuilt);
+        // ...without having built anything: three handles, one table.
+        assert_eq!(std::sync::Arc::strong_count(&shared), 3);
+        // Replacement on key collision still holds for the shared path.
+        a.install_shared(top, std::sync::Arc::new(PosteriorTable::from_cdf(vec![1.0]).unwrap()));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(top).unwrap().len(), 1);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use rand::RngCore;
 
@@ -58,6 +59,25 @@ pub trait Lppm: Send + Sync {
         }
     }
 
+    /// Obfuscates every location of `reals` with **one derived RNG stream
+    /// per location**, appending [`Lppm::output_count`] points per real to
+    /// `out` in input order: `reals[i]` draws from
+    /// `seeded(derive_seed(master, first_index + i))`.
+    ///
+    /// Unlike [`Lppm::obfuscate_batch`] (which threads one caller stream
+    /// through the whole batch), the per-index contract makes element `i`'s
+    /// output independent of batch boundaries and thread sharding — the
+    /// same invariance the parallel execution layer relies on. Mechanisms
+    /// with a vectorizable sampler override this with a lane-oriented
+    /// implementation that is bit-for-bit identical to this default.
+    fn obfuscate_many(&self, reals: &[Point], master: u64, first_index: u64, out: &mut Vec<Point>) {
+        out.reserve(reals.len() * self.output_count());
+        for (i, &real) in reals.iter().enumerate() {
+            let mut rng = seeded(derive_seed(master, first_index + i as u64));
+            self.obfuscate_into(real, &mut rng, out);
+        }
+    }
+
     /// The number of obfuscated locations released per call (`n`).
     fn output_count(&self) -> usize;
 
@@ -100,6 +120,37 @@ mod tests {
         let mut out = vec![Point::ORIGIN];
         m.obfuscate_into(Point::new(3.0, 4.0), &mut rng, &mut out);
         assert_eq!(out, vec![Point::ORIGIN, Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn obfuscate_many_derives_one_stream_per_real() {
+        // Identity ignores the RNG, so this pins layout: flat, input order,
+        // output_count() points per real.
+        let m = Identity;
+        let reals = [Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let mut out = Vec::new();
+        m.obfuscate_many(&reals, 42, 7, &mut out);
+        assert_eq!(out, reals);
+        // And the stream contract: a mechanism that *does* draw sees
+        // seeded(derive_seed(master, first_index + i)) for element i.
+        struct FirstDraw;
+        impl Lppm for FirstDraw {
+            fn obfuscate_into(&self, _real: Point, rng: &mut dyn RngCore, out: &mut Vec<Point>) {
+                out.push(Point::new(rng.next_u32() as f64, 0.0));
+            }
+            fn output_count(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &str {
+                "first-draw"
+            }
+        }
+        let mut out = Vec::new();
+        FirstDraw.obfuscate_many(&reals, 42, 7, &mut out);
+        for (i, p) in out.iter().enumerate() {
+            let mut rng = seeded(derive_seed(42, 7 + i as u64));
+            assert_eq!(p.x, rng.next_u32() as f64, "element {i}");
+        }
     }
 
     #[test]

@@ -69,4 +69,27 @@ grep -q '"chaos/worker_kill/2": {"counters"' "$smoke_dir/BENCH_chaos.json"
 grep -q '"server.restarts"' "$smoke_dir/BENCH_chaos.json"
 grep -q 'privacy ledger audit: .* zero double-spends' "$smoke_dir/chaos.out"
 
+echo "==> bench microbench (smoke, reduced sizes)"
+# Shape/determinism only — no wall-clock or ratio gate: the CI container
+# is a shared single core, so the batched-vs-cold speedup at these tiny
+# sizes is not meaningful here. The binary itself asserts the hard
+# contract untimed (batched candidate streams bit-for-bit equal to the
+# scalar path, one ledger spend per set, permanence on re-install); the
+# real ratio lives in BENCH_repro.json, regenerated at full size on a
+# quiet host.
+./target/release/microbench \
+    --users 6 --tops 2 --edges 4 --n 5 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_micro.json" >"$smoke_dir/micro.out"
+./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_micro.json"
+grep -q 'candidate_install/cold' "$smoke_dir/BENCH_micro.json"
+grep -q 'candidate_install/batched' "$smoke_dir/BENCH_micro.json"
+grep -q 'ns_per_op' "$smoke_dir/BENCH_micro.json"
+grep -q 'batched vs cold candidate install' "$smoke_dir/micro.out"
+grep -q 'determinism: batched candidate streams match the scalar path' "$smoke_dir/micro.out"
+# Telemetry smoke: the install-profile hub lands in the log (validated
+# above by --bench-json) and ledgers one spend per (user, top) pair.
+grep -q '"candidate_install": {"counters"' "$smoke_dir/BENCH_micro.json"
+grep -q '"edge.fresh_candidate_sets"' "$smoke_dir/BENCH_micro.json"
+grep -q 'telemetry: 12 fresh candidate sets, 12 ledger spends' "$smoke_dir/micro.out"
+
 echo "OK"
