@@ -377,6 +377,7 @@ impl EdgeDevice {
         config: SystemConfig,
         snapshot: DeviceSnapshot,
     ) -> Result<EdgeDevice, RecoveryError> {
+        // lint:allow(seed-flow): placeholder seed — the stream is replaced by the snapshot's saved RNG state on the next line, so no draw ever comes from it
         let mut device = EdgeDevice::new(config, 0);
         device.rng = StdRng::from_state(snapshot.rng_state);
         for record in snapshot.users {

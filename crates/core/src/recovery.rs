@@ -84,6 +84,7 @@ impl UserRecord {
             buffer: state.manager.buffered().to_vec(),
             profile: state.manager.profile().entries().to_vec(),
             top_set: state.manager.top_set().to_vec(),
+            // lint:allow(location-leak): the snapshot must carry the true window state to restore bit-identically; checkpoints never leave the trusted edge store and `restore_from` is the only consumer (DESIGN.md §12)
             table_image: state.obfuscation.table().encode().to_vec(),
             tables: state
                 .selection

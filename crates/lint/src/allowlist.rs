@@ -163,6 +163,35 @@ pub fn parse_allowlist(
     (entries, findings)
 }
 
+/// Flags allowlist entries whose target file is not among the scanned
+/// sources — a stale entry left behind after a file was deleted or moved.
+/// Stale entries are removed so they can never suppress anything, and each
+/// becomes an `unused-allow` finding attached to the allowlist file.
+pub fn flag_missing_files(
+    entries: &mut Vec<AllowlistEntry>,
+    scanned: &std::collections::BTreeSet<String>,
+    allowlist_name: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    entries.retain(|e| {
+        if scanned.contains(&e.path) {
+            return true;
+        }
+        findings.push(Finding {
+            file: allowlist_name.to_owned(),
+            line: e.line,
+            rule: "unused-allow",
+            message: format!(
+                "allowlist entry `{} | {}` names a file that no longer exists; remove it",
+                e.path, e.rule
+            ),
+            suppressed: None,
+        });
+        false
+    });
+    findings
+}
+
 /// Resolves suppressions: marks findings suppressed by inline allows (same
 /// line or the line above the finding) or by allowlist entries, then emits
 /// `unused-allow` findings for suppressions that matched nothing.
@@ -283,6 +312,35 @@ mod tests {
         assert_eq!(entries[0].rule, "determinism-time");
         assert_eq!(findings.len(), 2);
         assert!(findings.iter().all(|f| f.rule == "allow-syntax"));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_flagged_and_removed() {
+        let mut entries = vec![
+            AllowlistEntry {
+                line: 1,
+                path: "crates/bench/src/live.rs".into(),
+                rule: "determinism-time".into(),
+                justification: "ok".into(),
+                used: false,
+            },
+            AllowlistEntry {
+                line: 2,
+                path: "crates/bench/src/deleted.rs".into(),
+                rule: "determinism-time".into(),
+                justification: "stale".into(),
+                used: false,
+            },
+        ];
+        let scanned: std::collections::BTreeSet<String> =
+            ["crates/bench/src/live.rs".to_owned()].into_iter().collect();
+        let findings = flag_missing_files(&mut entries, &scanned, "lint.allow");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "crates/bench/src/live.rs");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-allow");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("no longer exists"));
     }
 
     #[test]

@@ -307,6 +307,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
         validate_serve_row(i, name, run)?;
         validate_chaos_row(i, name, run)?;
         validate_microbench_row(i, name, run)?;
+        validate_lint_row(i, name, run)?;
     }
     if let Some(telemetry) = doc.get("telemetry") {
         validate_telemetry_section(telemetry)?;
@@ -502,6 +503,39 @@ fn validate_microbench_row(i: usize, name: &str, run: &Json) -> Result<(), Strin
     Ok(())
 }
 
+/// Validates the flow-analysis self-check row the linter appends via
+/// `--bench-row`: any run named `lint/...` — and, symmetrically, any run
+/// that claims a `flow_analysis_ms` figure — must carry the full analysis
+/// record (finite `flow_analysis_ms` ≥ 0, integral `files_scanned` ≥ 1,
+/// integral `functions` ≥ 1), so the wall-time gate's evidence is never
+/// published without the workload that produced it. Rows are optional: a
+/// smoke BENCH file with no lint row stays valid.
+fn validate_lint_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    let is_lint = name == "lint" || name.starts_with("lint/");
+    let has_ms = run.get("flow_analysis_ms").is_some();
+    if !is_lint && !has_ms {
+        return Ok(());
+    }
+    let ms = run
+        .get("flow_analysis_ms")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `flow_analysis_ms`"))?;
+    if !ms.is_finite() || ms < 0.0 {
+        return Err(format!("runs[{i}] (`{name}`) has invalid `flow_analysis_ms` {ms}"));
+    }
+    for key in ["files_scanned", "functions"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 1.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,6 +697,43 @@ mod tests {
         // Any row claiming ns_per_op needs the record, install-named or not.
         let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "ns_per_op": 5.0}"#);
         assert!(validate_bench_report(&sneaky).unwrap_err().contains("installs_per_sec"));
+    }
+
+    #[test]
+    fn lint_rows_require_the_full_analysis_record() {
+        let report = |row: &str| {
+            format!(r#"{{"experiment": "all", "seed": 0, "threads": 1, "runs": [{row}]}}"#)
+        };
+        let good = report(
+            r#"{"name": "lint/flow_analysis_ms", "wall_ms": 76.5, "flow_analysis_ms": 76.5,
+                "files_scanned": 136, "functions": 1796}"#,
+        );
+        assert!(validate_bench_report(&good).is_ok());
+        // A BENCH file with no lint row at all stays valid.
+        let none = report(r#"{"name": "fig9", "wall_ms": 82.3}"#);
+        assert!(validate_bench_report(&none).is_ok());
+        // A lint row missing its record is rejected...
+        let missing = report(r#"{"name": "lint/flow_analysis_ms", "wall_ms": 76.5}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("flow_analysis_ms"));
+        let no_files = report(
+            r#"{"name": "lint/flow_analysis_ms", "wall_ms": 1.0, "flow_analysis_ms": 1.0,
+                "functions": 5}"#,
+        );
+        assert!(validate_bench_report(&no_files).unwrap_err().contains("files_scanned"));
+        // ...as are nonsense values.
+        let negative = report(
+            r#"{"name": "lint/flow_analysis_ms", "wall_ms": 1.0, "flow_analysis_ms": -1.0,
+                "files_scanned": 10, "functions": 5}"#,
+        );
+        assert!(validate_bench_report(&negative).is_err());
+        let frac_fns = report(
+            r#"{"name": "lint/flow_analysis_ms", "wall_ms": 1.0, "flow_analysis_ms": 1.0,
+                "files_scanned": 10, "functions": 5.5}"#,
+        );
+        assert!(validate_bench_report(&frac_fns).is_err());
+        // Any row claiming flow_analysis_ms needs the record, lint-named or not.
+        let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "flow_analysis_ms": 3.0}"#);
+        assert!(validate_bench_report(&sneaky).unwrap_err().contains("files_scanned"));
     }
 
     #[test]

@@ -24,17 +24,22 @@
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod flow;
 pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walk;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
-use allowlist::{apply_suppressions, parse_allowlist, parse_inline_allows, InlineAllow};
+use allowlist::{
+    apply_suppressions, flag_missing_files, parse_allowlist, parse_inline_allows, InlineAllow,
+};
 use report::Report;
 use rules::{check_file, FileContext, Finding};
 
@@ -49,6 +54,8 @@ pub const ALLOWLIST_FILE: &str = "lint.allow";
 pub fn run(root: &Path) -> Report {
     let mut findings: Vec<Finding> = Vec::new();
     let mut inline: Vec<(String, Vec<InlineAllow>)> = Vec::new();
+    let mut lexed_files: Vec<(FileContext, lexer::LexedFile)> = Vec::new();
+    let mut scanned: BTreeSet<String> = BTreeSet::new();
 
     let sources = walk::rust_sources(root);
     let files_scanned = sources.len();
@@ -64,6 +71,8 @@ pub fn run(root: &Path) -> Report {
                 if !allows.is_empty() {
                     inline.push((rel_str.clone(), allows));
                 }
+                scanned.insert(rel_str);
+                lexed_files.push((ctx, lexed));
             }
             Err(err) => findings.push(Finding {
                 file: rel_str,
@@ -75,15 +84,31 @@ pub fn run(root: &Path) -> Report {
         }
     }
 
+    // Flow phase: parse items, build the workspace symbol table, run the
+    // cross-crate `location-leak` / `seed-flow` analyses. Timed because
+    // check.sh gates on the wall time (`--flow-budget-ms`); the measurement
+    // never feeds results, only the budget check and the BENCH row.
+    // lint:allow(determinism-time): measuring the analysis phase itself is this rule's one sanctioned use; the reading gates CI wall-time, not experiment output
+    let flow_start = std::time::Instant::now();
+    let parsed: Vec<parser::ParsedFile> = lexed_files
+        .iter()
+        .map(|(ctx, lexed)| parser::parse_file(ctx, lexed))
+        .collect();
+    let table = flow::SymbolTable::build(&parsed);
+    let functions_indexed = table.len();
+    findings.extend(flow::analyze(&table));
+    let flow_analysis_ms = flow_start.elapsed().as_secs_f64() * 1e3;
+
     findings.extend(manifest::check_manifests(root));
 
     let allowlist_text = fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
     let (mut entries, allowlist_findings) = parse_allowlist(ALLOWLIST_FILE, &allowlist_text);
     findings.extend(allowlist_findings);
+    findings.extend(flag_missing_files(&mut entries, &scanned, ALLOWLIST_FILE));
 
     apply_suppressions(&mut findings, &mut inline, &mut entries, ALLOWLIST_FILE);
 
-    let mut report = Report { files_scanned, findings };
+    let mut report = Report { files_scanned, flow_analysis_ms, functions_indexed, findings };
     report.sort();
     report
 }

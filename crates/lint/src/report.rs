@@ -9,6 +9,13 @@ use crate::rules::Finding;
 #[derive(Debug, Default)]
 pub struct Report {
     pub files_scanned: usize,
+    /// Wall time of the flow-analysis phase (parse + symbol table +
+    /// `location-leak`/`seed-flow`), in milliseconds. The `check.sh` budget
+    /// gate (`--flow-budget-ms`) and the `lint/flow_analysis_ms` BENCH row
+    /// both read this.
+    pub flow_analysis_ms: f64,
+    /// Functions indexed in the workspace symbol table.
+    pub functions_indexed: usize,
     pub findings: Vec<Finding>,
 }
 
@@ -56,6 +63,8 @@ impl Report {
         out.push_str("{\n");
         out.push_str("  \"tool\": \"privlocad-lint\",\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"flow_analysis_ms\": {:.3},", self.flow_analysis_ms);
+        let _ = writeln!(out, "  \"functions_indexed\": {},", self.functions_indexed);
         let _ = writeln!(out, "  \"active\": {},", self.unsuppressed_count());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed_count());
         out.push_str("  \"findings\": [");
@@ -110,6 +119,7 @@ mod tests {
         let mut report = Report {
             files_scanned: 3,
             findings: vec![finding("b.rs", 2, None), finding("a.rs", 9, Some("why"))],
+            ..Report::default()
         };
         report.sort();
         assert_eq!(report.findings[0].file, "a.rs");
@@ -126,6 +136,7 @@ mod tests {
         let report = Report {
             files_scanned: 1,
             findings: vec![finding("a.rs", 1, Some("ok")), finding("b.rs", 2, None)],
+            ..Report::default()
         };
         let text = report.render_text();
         assert!(text.contains("b.rs:2: float-eq"));

@@ -79,6 +79,14 @@ pub const RULES: &[Rule] = &[
         summary: "no hand-rolled atomic counters in core/bench serving paths; use the privlocad-telemetry registry",
     },
     Rule {
+        name: "location-leak",
+        summary: "true-location data must pass an Lppm sanitizer before reaching wire, checkpoint or telemetry sinks",
+    },
+    Rule {
+        name: "seed-flow",
+        summary: "RNG streams in result-producing crates must be seeded from derive_seed-derived state",
+    },
+    Rule {
         name: "allow-syntax",
         summary: "lint:allow suppressions must name a known rule and carry a justification",
     },
@@ -147,8 +155,10 @@ impl FileContext {
 }
 
 /// Crates whose outputs feed experiment results: iteration order anywhere in
-/// them can leak into figures, tables or digests.
-const RESULT_PRODUCING: &[&str] =
+/// them can leak into figures, tables or digests. The flow rules
+/// ([`crate::flow`]) share this scope: an RNG stream anywhere in these crates
+/// must trace back to `derive_seed`-derived state.
+pub(crate) const RESULT_PRODUCING: &[&str] =
     &["geo", "mechanisms", "attack", "adnet", "metrics", "mobility", "core", "bench"];
 
 /// Crates whose library code must stay panic-free (typed errors only).

@@ -1,0 +1,12 @@
+//! Flow-fixture anchor: the true-location source, mirroring
+//! `core::management::LocationManager` at the item level.
+
+impl LocationManager {
+    pub fn top_set(&self) -> &[ProfileEntry] {
+        &self.tops
+    }
+
+    pub fn profile(&self) -> &LocationProfile {
+        &self.profile
+    }
+}

@@ -1,0 +1,8 @@
+//! Flow-fixture anchor: the LPPM sanitizer, mirroring
+//! `core::obfuscation::ObfuscationModule` at the item level.
+
+impl ObfuscationModule {
+    pub fn candidates_for(&self, top: Point) -> Option<&[Point]> {
+        self.table.get(top)
+    }
+}

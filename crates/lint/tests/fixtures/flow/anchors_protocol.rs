@@ -1,0 +1,8 @@
+//! Flow-fixture anchor: the wire sink, mirroring
+//! `core::protocol::EdgeResponse` at the item level.
+
+impl EdgeResponse {
+    pub fn encode(&self) -> Bytes {
+        Bytes::new()
+    }
+}

@@ -1,0 +1,11 @@
+//! Flow-fixture anchor: the deterministic seeding helpers, mirroring
+//! `geo::rng` at the item level. `seeded` forwards its parameter into the
+//! RNG constructor, so it becomes a seed-flow passthrough.
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    master ^ index
+}

@@ -1,0 +1,24 @@
+//! Positive fixture: a true-location top set flows through a helper into
+//! the wire encoder with no sanitizer on the path. The engine must report
+//! one leak inside `handle`, with the full source→carrier→sink witness.
+
+impl Device {
+    fn current(&self) -> Vec<ProfileEntry> {
+        self.manager.top_set().to_vec()
+    }
+
+    fn ship(&self, payload: Vec<ProfileEntry>) -> Bytes {
+        self.response.encode()
+    }
+
+    fn handle(&self) -> Bytes {
+        let tops = self.current();
+        self.ship(tops)
+    }
+
+    fn served(&self) -> Bytes {
+        let tops = self.current();
+        let released = self.module.candidates_for(tops);
+        self.ship(released)
+    }
+}

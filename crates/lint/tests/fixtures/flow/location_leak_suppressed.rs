@@ -1,0 +1,18 @@
+//! Suppressed fixture: the same leak as `location_leak.rs`, silenced by a
+//! justified inline allow on the sink call.
+
+impl Device {
+    fn current(&self) -> Vec<ProfileEntry> {
+        self.manager.top_set().to_vec()
+    }
+
+    fn ship(&self, payload: Vec<ProfileEntry>) -> Bytes {
+        self.response.encode()
+    }
+
+    fn handle(&self) -> Bytes {
+        let tops = self.current();
+        // lint:allow(location-leak): fixture — export stays on the trusted edge store by construction
+        self.ship(tops)
+    }
+}

@@ -1,0 +1,16 @@
+//! Positive fixture: RNG streams seeded from literals, one of them two
+//! call hops away from the constructor through the `Device::new` → `seeded`
+//! passthrough chain. The derived and parameter-fed sites must stay quiet.
+
+impl Device {
+    pub fn new(config: Config, seed: u64) -> Device {
+        Device { rng: seeded(seed) }
+    }
+}
+
+fn build(master: u64) {
+    let ok = Device::new(cfg(), derive_seed(master, 1));
+    let fine = Device::new(cfg(), master);
+    let bad = Device::new(cfg(), 7);
+    let direct = StdRng::seed_from_u64(99);
+}

@@ -46,6 +46,36 @@ fn live_workspace_scan_is_substantial() {
 }
 
 #[test]
+fn live_workspace_flow_analysis_is_clean_and_substantial() {
+    let report = run(&workspace_root());
+    // The privacy contract as a test: no unsuppressed source→sink path and
+    // no literal-seeded RNG stream anywhere in the workspace.
+    let loud: Vec<String> = report
+        .unsuppressed()
+        .filter(|f| f.rule == "location-leak" || f.rule == "seed-flow")
+        .map(|f| format!("{}:{} {}: {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(loud.is_empty(), "active flow findings:\n{}", loud.join("\n"));
+    // The symbol table must actually cover the workspace: an empty index
+    // would also report zero findings.
+    assert!(
+        report.functions_indexed > 1000,
+        "only {} functions indexed; the item parser lost the workspace",
+        report.functions_indexed
+    );
+    // The burn-down left documented flow suppressions behind (the
+    // checkpoint capture, the recovery placeholder seed); their
+    // disappearance means flow suppression resolution broke.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| (f.rule == "location-leak" || f.rule == "seed-flow") && !f.is_active()),
+        "expected documented flow suppressions to resolve"
+    );
+}
+
+#[test]
 fn live_json_report_parses_with_our_own_parser() {
     let report = run(&workspace_root());
     let doc = json::parse(&report.render_json()).expect("report JSON must parse");

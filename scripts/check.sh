@@ -19,6 +19,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> privlocad-lint (workspace invariants + bench report shape)"
 ./target/release/privlocad-lint --root . --bench-json BENCH_repro.json
 
+echo "==> privlocad-lint flow analysis (location-leak/seed-flow budget gate + JSON artifact)"
+# The flow passes must stay cheap enough to run on every check: 250 ms
+# release-mode for the full workspace, enforced here. The machine-readable
+# findings report (path witnesses included) is left in target/ as a build
+# artifact.
+./target/release/privlocad-lint --root . --quiet \
+    --json target/lint_report.json --flow-budget-ms 250
+grep -q '"flow_analysis_ms"' target/lint_report.json
+grep -q '"active": 0' target/lint_report.json
+
 echo "==> repro all (smoke, reduced sizes)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
