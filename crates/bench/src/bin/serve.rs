@@ -4,7 +4,8 @@
 //! Usage: serve [options]
 //!
 //! Options:
-//!   --users N        fleet size (default 64)
+//!   --users N        scale-stage fleet size (default 10000, up to 1000000);
+//!                    the latency stages keep their fixed 64-user fleet
 //!   --requests N     requests per measured iteration (default 8192)
 //!   --batch N        requests drained per serving-loop wakeup (default 64)
 //!   --seed N         master seed (default 0)
@@ -13,7 +14,8 @@
 //!                    (default BENCH_repro.json in the working directory)
 //! ```
 //!
-//! The serving rows are appended to the existing benchmark log (replacing
+//! The serving rows (latency stages plus the `serve/scale/{users}`
+//! capacity rows) are appended to the existing benchmark log (replacing
 //! any earlier `serve/...` rows, so reruns never accumulate), and the
 //! merged document is re-validated with the same schema check that
 //! `privlocad-lint --bench-json` applies in CI.
@@ -22,12 +24,14 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use privlocad_bench::scale::{self, ScaleRow};
 use privlocad_bench::serve::{self, Config, ServeRow};
 use privlocad_lint::json::{parse, render, validate_bench_report, Json};
 
 #[derive(Debug, Clone)]
 struct Options {
     config: Config,
+    scale: scale::Config,
     bench_json: PathBuf,
 }
 
@@ -42,15 +46,22 @@ fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, Strin
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { config: Config::default(), bench_json: PathBuf::from("BENCH_repro.json") };
+    let mut opts = Options {
+        config: Config::default(),
+        scale: scale::Config::default(),
+        bench_json: PathBuf::from("BENCH_repro.json"),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--users" => opts.config.users = num(&mut it, "--users")?.max(1),
+            "--users" => opts.scale.users = num(&mut it, "--users")?.max(1),
             "--requests" => opts.config.requests = num(&mut it, "--requests")?.max(1),
             "--batch" => opts.config.batch = num(&mut it, "--batch")?.max(1),
-            "--seed" => opts.config.seed = num(&mut it, "--seed")? as u64,
+            "--seed" => {
+                let seed = num(&mut it, "--seed")? as u64;
+                opts.config.seed = seed;
+                opts.scale.seed = seed;
+            }
             "--threads" => opts.config.threads = num(&mut it, "--threads")?.max(1),
             "--bench-json" => {
                 let v = it.next().ok_or("--bench-json needs a file path")?;
@@ -72,6 +83,20 @@ fn row_to_json(row: &ServeRow) -> Json {
     Json::Obj(obj)
 }
 
+fn scale_row_to_json(row: &ScaleRow) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Json::Str(row.name.clone()));
+    obj.insert("wall_ms".to_owned(), Json::Num(row.wall_ms));
+    obj.insert("users".to_owned(), Json::Num(row.users as f64));
+    obj.insert("shards".to_owned(), Json::Num(row.shards as f64));
+    obj.insert("bytes_per_user".to_owned(), Json::Num(row.bytes_per_user));
+    obj.insert("checkpoint_encode_ms".to_owned(), Json::Num(row.checkpoint_encode_ms));
+    obj.insert("recovery_ms".to_owned(), Json::Num(row.recovery_ms));
+    obj.insert("per_shard_recovery_ms".to_owned(), Json::Num(row.per_shard_recovery_ms));
+    obj.insert("digest".to_owned(), Json::Str(row.digest.clone()));
+    Json::Obj(obj)
+}
+
 /// Loads the benchmark log (or starts a fresh one), drops any stale
 /// `serve/...` rows, appends the new rows plus the serving-path telemetry
 /// hub (rendered by the deterministic pass), and returns the merged document.
@@ -79,6 +104,7 @@ fn merge_log(
     existing: Option<&str>,
     opts: &Options,
     rows: &[ServeRow],
+    scale_rows: &[ScaleRow],
     telemetry_json: &str,
 ) -> Result<Json, String> {
     let mut doc = match existing {
@@ -102,6 +128,7 @@ fn merge_log(
         !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("serve/"))
     });
     runs.extend(rows.iter().map(row_to_json));
+    runs.extend(scale_rows.iter().map(scale_row_to_json));
     // Publish the serving-path hub (metrics + privacy-budget ledger) under
     // the top-level `telemetry` section, replacing any stale `serve` entry.
     let telemetry = obj.entry("telemetry".to_owned()).or_insert_with(|| Json::Obj(BTreeMap::new()));
@@ -112,9 +139,14 @@ fn merge_log(
     Ok(doc)
 }
 
-fn write_log(opts: &Options, rows: &[ServeRow], telemetry_json: &str) -> Result<(), String> {
+fn write_log(
+    opts: &Options,
+    rows: &[ServeRow],
+    scale_rows: &[ScaleRow],
+    telemetry_json: &str,
+) -> Result<(), String> {
     let existing = std::fs::read_to_string(&opts.bench_json).ok();
-    let doc = merge_log(existing.as_deref(), opts, rows, telemetry_json)?;
+    let doc = merge_log(existing.as_deref(), opts, rows, scale_rows, telemetry_json)?;
     let text = render(&doc);
     validate_bench_report(&text)?;
     std::fs::write(&opts.bench_json, &text)
@@ -144,7 +176,9 @@ fn main() -> ExitCode {
     let hits = snapshot.counter("edge.posterior_cache_hits").unwrap_or(0);
     let misses = snapshot.counter("edge.posterior_cache_misses").unwrap_or(0);
     println!("telemetry: posterior cache {hits} hits / {misses} misses over the serving profile");
-    if let Err(e) = write_log(&opts, &out.rows, &out.telemetry.to_json()) {
+    let scale_out = scale::run(&opts.scale);
+    print!("\n{}", scale_out.table().render());
+    if let Err(e) = write_log(&opts, &out.rows, &scale_out.rows, &out.telemetry.to_json()) {
         eprintln!("[bench] {e}");
         return ExitCode::FAILURE;
     }
@@ -170,17 +204,35 @@ mod tests {
         }
     }
 
+    fn scale_row(name: &str, users: usize) -> ScaleRow {
+        ScaleRow {
+            name: name.to_owned(),
+            wall_ms: 25.0,
+            users,
+            shards: users.div_ceil(10_000),
+            bytes_per_user: 1_800.0,
+            checkpoint_encode_ms: 4.0,
+            recovery_ms: 9.0,
+            per_shard_recovery_ms: 9.0,
+            digest: "00f00ba900f00ba9".to_owned(),
+        }
+    }
+
     #[test]
     fn parses_defaults_and_overrides() {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.config.users, 64);
+        assert_eq!(o.scale.users, 10_000);
         assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
         let o = parse_args(&args(
             "--users 8 --requests 512 --batch 32 --seed 9 --threads 4 --bench-json s.json",
         ))
         .unwrap();
-        assert_eq!((o.config.users, o.config.requests, o.config.batch), (8, 512, 32));
-        assert_eq!((o.config.seed, o.config.threads), (9, 4));
+        // --users drives the scale stage; the latency stages keep their
+        // fixed 64-user fleet so their numbers stay comparable run to run.
+        assert_eq!(o.scale.users, 8);
+        assert_eq!((o.config.users, o.config.requests, o.config.batch), (64, 512, 32));
+        assert_eq!((o.config.seed, o.scale.seed, o.config.threads), (9, 9, 4));
         assert_eq!(o.bench_json, PathBuf::from("s.json"));
         assert!(parse_args(&args("--wat")).unwrap_err().contains("unknown option"));
         assert!(parse_args(&args("--batch x")).unwrap_err().contains("bad --batch"));
@@ -192,22 +244,30 @@ mod tests {
         let existing = r#"{"experiment": "all", "seed": 0, "threads": 2, "runs": [
             {"name": "fig9", "wall_ms": 80.0, "threads": 2, "users": null, "trials": 100},
             {"name": "serve/legacy_single", "wall_ms": 9.9, "requests_per_sec": 1.0,
-             "batch": 1, "threads": 1}
+             "batch": 1, "threads": 1},
+            {"name": "serve/scale/16", "wall_ms": 3.0, "users": 16, "shards": 1,
+             "bytes_per_user": 9.0, "checkpoint_encode_ms": 1.0, "recovery_ms": 1.0,
+             "per_shard_recovery_ms": 1.0, "digest": "aa"}
         ]}"#;
         let hub = privlocad_telemetry::Telemetry::new();
         hub.registry()
             .counter("edge.checkins", privlocad_telemetry::Determinism::Deterministic)
             .add(7);
-        let doc =
-            merge_log(Some(existing), &opts, &[row("serve/batched_cached/64")], &hub.to_json())
-                .unwrap();
+        let doc = merge_log(
+            Some(existing),
+            &opts,
+            &[row("serve/batched_cached/64")],
+            &[scale_row("serve/scale/10000", 10_000)],
+            &hub.to_json(),
+        )
+        .unwrap();
         let runs = match doc.get("runs") {
             Some(Json::Arr(runs)) => runs,
             other => panic!("runs missing: {other:?}"),
         };
         let names: Vec<_> =
             runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
-        assert_eq!(names, ["fig9", "serve/batched_cached/64"]);
+        assert_eq!(names, ["fig9", "serve/batched_cached/64", "serve/scale/10000"]);
         let section = doc.get("telemetry").and_then(|t| t.get("serve")).expect("serve hub");
         assert_eq!(
             section.get("counters").and_then(|c| c.get("edge.checkins")).and_then(Json::as_num),
@@ -220,7 +280,14 @@ mod tests {
     fn fresh_log_carries_the_required_header() {
         let opts = parse_args(&args("--seed 5 --threads 3")).unwrap();
         let hub = privlocad_telemetry::Telemetry::new();
-        let doc = merge_log(None, &opts, &[row("serve/single_cached")], &hub.to_json()).unwrap();
+        let doc = merge_log(
+            None,
+            &opts,
+            &[row("serve/single_cached")],
+            &[scale_row("serve/scale/10000", 10_000)],
+            &hub.to_json(),
+        )
+        .unwrap();
         validate_bench_report(&render(&doc)).expect("fresh log must validate");
     }
 }

@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use privlocad::protocol::{ClientRequest, EdgeResponse};
 use privlocad::{
-    candidate_redraws, DeviceSnapshot, EdgeDevice, EdgeHandle, EdgeServer, FaultPlan,
+    candidate_redraws, EdgeDevice, EdgeHandle, EdgeServer, FaultPlan,
     RetryPolicy, ServerOptions, SystemConfig, TransportError,
 };
 use privlocad_geo::rng::{derive_seed, seeded};
@@ -373,13 +373,14 @@ fn drive_shard(
     );
 
     // Time the recovery path itself on the final checkpoint: decode the
-    // versioned checksummed log and rebuild a device from it.
+    // versioned checksummed log and rebuild a device from it, through the
+    // same zero-copy pooled path the supervisor takes.
     let encoded = faulty_snap.encode();
     let mut recovery_ns = f64::INFINITY;
     for _ in 0..8 {
         let start = Instant::now();
-        let decoded = DeviceSnapshot::decode(&encoded).expect("checkpoint decodes");
-        let restored = EdgeDevice::restore(sys, &decoded).expect("checkpoint restores");
+        let restored =
+            EdgeDevice::restore_from_checkpoint(sys, &encoded).expect("checkpoint restores");
         let elapsed = start.elapsed().as_nanos() as f64;
         std::hint::black_box(&restored);
         recovery_ns = recovery_ns.min(elapsed.max(1.0));

@@ -30,6 +30,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod microbench;
 pub mod report;
+pub mod scale;
 pub mod serve;
 pub mod tables;
 pub mod verify;

@@ -7,8 +7,11 @@
 //! the final device checkpoints.
 //!
 //! Kill schedules are user-local (one crash mid check-in phase per user),
-//! so the total fault count is the same at every shard count; restart
-//! totals therefore stay inside the deterministic export too.
+//! so the total fault count is the same at every shard count. Restarts
+//! themselves are classified as scheduling-dependent (they count *caught
+//! crashes*, like the recovery restores they trigger), so they live
+//! outside the deterministic export and are asserted via the raw
+//! registry snapshot instead.
 
 use privlocad::protocol::ClientRequest;
 use privlocad::{EdgeServer, FaultPlan, ServerOptions, SystemConfig};
@@ -94,7 +97,9 @@ fn deterministic_snapshot_is_shard_count_invariant_on_the_serve_path() {
     let requests = (USERS * (CHECKINS + 1 + REQUESTS)) as u64;
     assert!(json.contains(&format!("\"edge.checkins\": {checkins}")), "{json}");
     assert!(json.contains(&format!("\"server.requests\": {requests}")), "{json}");
-    assert!(json.contains("\"server.restarts\": 0"), "{json}");
+    // Restarts are scheduling-classed (outside the deterministic export);
+    // the clean path must report none on the raw registry.
+    assert_eq!(one.registry().snapshot().counter("server.restarts"), Some(0));
     // …and both fleets' budget ledgers audit exactly-once against the
     // candidate sets actually live in the final checkpoints.
     assert_eq!(released_one.len(), USERS, "one permanent set per user");
@@ -109,9 +114,12 @@ fn deterministic_snapshot_is_shard_count_invariant_under_kills() {
     let (two, released_two) = run_fleet(2, true);
     let json = one.deterministic_json();
     assert_eq!(json, two.deterministic_json(), "crash recovery leaked into the export");
-    // Every user's stream really was killed once, at every shard count,
-    // and the restarts are part of the deterministic export.
-    assert!(json.contains(&format!("\"server.restarts\": {USERS}")), "{json}");
+    // Every user's stream really was killed once, at every shard count.
+    // Restarts are scheduling-classed, so they are asserted on the raw
+    // registry snapshot rather than the deterministic export.
+    let restarts = |hub: &Telemetry| hub.registry().snapshot().counter("server.restarts");
+    assert_eq!(restarts(&one), Some(USERS as u64));
+    assert_eq!(restarts(&two), Some(USERS as u64));
     // Crash-restore cycles never double-charge the budget: the ledger
     // still audits exactly-once against the released sets.
     one.ledger().assert_no_double_spend(released_one).expect("killed 1-shard ledger audits clean");

@@ -129,6 +129,32 @@ impl CandidateArena {
     pub(crate) fn buffers(&mut self) -> (&mut BatchScratch, &mut CandidateLanes) {
         (&mut self.scratch, &mut self.lanes)
     }
+
+    /// Accounts the staged shared sets into `fp` with caller-owned dedup
+    /// state — the fleet-footprint leg that covers `Arc`s the staging
+    /// area keeps alive. Sets already counted through a device that
+    /// installed them (the common case) dedup to zero extra bytes.
+    pub(crate) fn accumulate_footprint(
+        &self,
+        fp: &mut crate::StateFootprint,
+        seen_sets: &mut std::collections::BTreeSet<usize>,
+        seen_tables: &mut std::collections::BTreeSet<usize>,
+    ) {
+        use std::mem::size_of;
+        for set in &self.sets {
+            if seen_sets.insert(set.candidates.as_ptr() as usize) {
+                fp.distinct_candidate_sets += 1;
+                fp.shared_bytes +=
+                    (set.candidates.len() * size_of::<Point>() + 2 * size_of::<usize>()) as u64;
+            }
+            if seen_tables.insert(Arc::as_ptr(&set.table) as usize) {
+                fp.distinct_posterior_tables += 1;
+                fp.shared_bytes += (std::mem::size_of_val(set.table.cdf())
+                    + size_of::<PosteriorTable>()
+                    + 2 * size_of::<usize>()) as u64;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

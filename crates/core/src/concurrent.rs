@@ -7,9 +7,9 @@ use privlocad_geo::Point;
 use privlocad_mechanisms::PlanarLaplace;
 use privlocad_mobility::UserId;
 
-use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, UserRecord};
+use crate::recovery::{restore_user, DeviceSnapshot, RecoveryError, SnapshotBuilder};
 use crate::user::{RequestStats, UserMap, UserState};
-use crate::SystemConfig;
+use crate::{StreamMode, SystemConfig};
 
 /// A thread-shared edge device: many mobile clients (threads) report
 /// check-ins and request obfuscated locations concurrently.
@@ -173,15 +173,11 @@ impl SharedEdgeDevice {
     /// consistency point, pause serving threads around the call.
     pub fn snapshot(&self) -> DeviceSnapshot {
         let map = self.users.read();
-        DeviceSnapshot {
-            rng_state: [0; 4],
-            op_counter: self.op_counter.load(Ordering::SeqCst),
-            users: map
-                .keys()
-                .zip(map.values())
-                .map(|(user, slot)| UserRecord::capture(user, &slot.lock()))
-                .collect(),
+        let mut builder = SnapshotBuilder::new();
+        for (user, slot) in map.keys().zip(map.values()) {
+            builder.capture(user, &slot.lock());
         }
+        builder.finish([0; 4], self.op_counter.load(Ordering::SeqCst), StreamMode::Device)
     }
 
     /// Rebuilds a shared device from a checkpoint taken with the same
@@ -201,9 +197,10 @@ impl SharedEdgeDevice {
         let device = SharedEdgeDevice::new(config, seed);
         device.op_counter.store(snapshot.op_counter, Ordering::SeqCst);
         {
+            let pools = snapshot.pools()?;
             let mut map = device.users.write();
             for record in &snapshot.users {
-                let state = restore_user(&config, record)?;
+                let state = restore_user(&config, record, &pools)?;
                 *map.entry_or_insert_with(record.user, || {
                     Arc::new(Mutex::new(UserState::new(&config)))
                 }) = Arc::new(Mutex::new(state));

@@ -1,18 +1,39 @@
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use privlocad_adnet::{AdNetwork, AuctionOutcome, BidRequest, Campaign, DeviceId};
-use privlocad_geo::rng::seeded;
+use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
-use privlocad_mechanisms::PlanarLaplace;
+use privlocad_mechanisms::{PlanarLaplace, PosteriorTable};
 use privlocad_mobility::UserId;
 use rand::rngs::StdRng;
 
 use privlocad_telemetry::{top_key, Determinism, SpendEvent, SpendKind, Telemetry};
 
 use crate::protocol::{ClientRequest, EdgeResponse};
-use crate::recovery::{restore_user_owned, DeviceSnapshot, RecoveryError, UserRecord};
+use crate::recovery::{restore_user_owned, DeviceSnapshot, RecoveryError, SnapshotBuilder};
+use crate::shard::StateFootprint;
 use crate::user::{RequestStats, UserMap, UserState};
-use crate::{filter_ads_by, CandidateArena, PreparedSet, SystemConfig};
+use crate::{filter_ads_by, CandidateArena, PreparedSet, StreamMode, SystemConfig};
+
+/// Domain separator for per-user stream derivation: streams are drawn
+/// from `derive_seed(derive_seed(master, DOMAIN), user)`, so they can
+/// never collide with shard seeds or workload streams derived from the
+/// same master.
+const USER_STREAM_DOMAIN: u64 = 0x7573_6572_5f73_7472; // "user_str"
+
+/// The private generator for `user` under `streams`, if the mode
+/// assigns one.
+fn user_stream(streams: StreamMode, user: UserId) -> Option<StdRng> {
+    match streams {
+        StreamMode::Device => None,
+        StreamMode::PerUser { master } => Some(seeded(derive_seed(
+            derive_seed(master, USER_STREAM_DOMAIN),
+            u64::from(user.raw()),
+        ))),
+    }
+}
 
 /// What the edge hands back to the mobile device for one ad request.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +144,11 @@ pub struct EdgeDevice {
     /// window close on this device. Pure scratch: never part of a
     /// snapshot, never observable in outputs.
     arena: CandidateArena,
+    /// How serving operations draw randomness — one shared generator
+    /// ([`StreamMode::Device`], the classic mode) or a private stream
+    /// per user ([`StreamMode::PerUser`], the sharded-fleet mode whose
+    /// outputs are invariant to the user→shard partition).
+    streams: StreamMode,
 }
 
 impl EdgeDevice {
@@ -136,7 +162,19 @@ impl EdgeDevice {
             stats: DeviceStats::default(),
             pending_spends: Vec::new(),
             arena: CandidateArena::new(),
+            streams: StreamMode::Device,
         }
+    }
+
+    /// Creates an edge device whose users draw from private RNG streams
+    /// derived from `master` — every user's outputs depend only on
+    /// `(master, user id, that user's own operation sequence)`, so a
+    /// fleet partitioned over any number of such shards produces
+    /// bit-for-bit the same responses per user ([`crate::ShardRouter`]).
+    pub fn with_per_user_streams(config: SystemConfig, master: u64) -> Self {
+        let mut device = EdgeDevice::new(config, master);
+        device.streams = StreamMode::PerUser { master };
+        device
     }
 
     /// The device configuration.
@@ -151,7 +189,9 @@ impl EdgeDevice {
 
     fn state_mut(&mut self, user: UserId) -> &mut UserState {
         let config = &self.config;
-        self.users.entry_or_insert_with(user, || UserState::new(config))
+        let streams = self.streams;
+        self.users
+            .entry_or_insert_with(user, || UserState::with_stream(config, user_stream(streams, user)))
     }
 
     /// Records a true-location check-in into the user's current profile
@@ -167,10 +207,23 @@ impl EdgeDevice {
     /// top set. Returns the number of freshly obfuscated top locations.
     pub fn finalize_window(&mut self, user: UserId) -> usize {
         let config = self.config;
-        let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
+        let streams = self.streams;
+        let state = self
+            .users
+            .entry_or_insert_with(user, || UserState::with_stream(&config, user_stream(streams, user)));
         let sets_before = state.obfuscation.table().len();
         let (scratch, lanes) = self.arena.buffers();
-        let fresh = state.finalize_window_with(&config, &mut self.rng, scratch, lanes);
+        // Candidate generation draws from the user's private stream in
+        // per-user mode, so the sets a user receives never depend on how
+        // other users' operations interleave on this shard.
+        let mut taken = state.stream.take();
+        let fresh = match taken.as_mut() {
+            Some(private) => state.finalize_window_with(&config, private, scratch, lanes),
+            None => state.finalize_window_with(&config, &mut self.rng, scratch, lanes),
+        };
+        if taken.is_some() {
+            state.stream = taken;
+        }
         self.stats.windows_closed += 1;
         self.pending_spends
             .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::WindowClose });
@@ -221,7 +274,10 @@ impl EdgeDevice {
         sets: &[PreparedSet],
     ) {
         let config = self.config;
-        let state = self.users.entry_or_insert_with(user, || UserState::new(&config));
+        let streams = self.streams;
+        let state = self
+            .users
+            .entry_or_insert_with(user, || UserState::with_stream(&config, user_stream(streams, user)));
         state.manager.set_top_set(tops);
         state.selection.invalidate();
         let sets_before = state.obfuscation.table().len();
@@ -284,11 +340,22 @@ impl EdgeDevice {
     /// planar-Laplace obfuscation for nomadic positions.
     pub fn reported_location(&mut self, user: UserId, current_true: Point) -> Point {
         // Split borrows: no per-request copy of the config.
-        let Self { users, config, nomadic, rng, stats, pending_spends, .. } = self;
-        let state = users.entry_or_insert_with(user, || UserState::new(config));
+        let Self { users, config, nomadic, rng, stats, pending_spends, streams, .. } = self;
+        let streams = *streams;
+        let state =
+            users.entry_or_insert_with(user, || UserState::with_stream(config, user_stream(streams, user)));
         let sets_before = state.obfuscation.table().len();
         let mut request = RequestStats::default();
-        let point = state.reported_location(config, nomadic, current_true, rng, &mut request);
+        let mut taken = state.stream.take();
+        let point = match taken.as_mut() {
+            Some(private) => {
+                state.reported_location(config, nomadic, current_true, private, &mut request)
+            }
+            None => state.reported_location(config, nomadic, current_true, rng, &mut request),
+        };
+        if taken.is_some() {
+            state.stream = taken;
+        }
         stats.location_requests += 1;
         stats.absorb(request);
         // A first request at a freshly merged top can draw its permanent
@@ -336,16 +403,21 @@ impl EdgeDevice {
     /// stood, without re-drawing a single released candidate (see
     /// [`crate::recovery`] for why re-drawing is a privacy violation).
     pub fn snapshot(&self) -> DeviceSnapshot {
-        DeviceSnapshot {
-            rng_state: self.rng.state(),
-            op_counter: 0,
-            users: self
-                .users
-                .keys()
-                .zip(self.users.values())
-                .map(|(user, state)| UserRecord::capture(user, state))
-                .collect(),
+        let mut builder = SnapshotBuilder::new();
+        for (user, state) in self.users.keys().zip(self.users.values()) {
+            builder.capture(user, state);
         }
+        builder.finish(self.rng.state(), 0, self.streams)
+    }
+
+    /// Encodes the current [`EdgeDevice::snapshot`] into one contiguous
+    /// checkpoint buffer (the length-prefixed frame format of
+    /// [`crate::recovery`]) — the unit the serving loop commits to its
+    /// write-ahead log and [`EdgeDevice::restore_from_checkpoint`] decodes
+    /// without per-record allocation.
+    pub fn checkpoint(&self) -> Bytes {
+        // lint:allow(location-leak): the checkpoint must carry the true window state to restore bit-identically; it goes only into the trusted edge store and the restore paths are the only consumers (DESIGN.md §12)
+        self.snapshot().encode()
     }
 
     /// Rebuilds a device from a checkpoint. The restored device continues
@@ -377,12 +449,22 @@ impl EdgeDevice {
         config: SystemConfig,
         snapshot: DeviceSnapshot,
     ) -> Result<EdgeDevice, RecoveryError> {
+        let pools = snapshot.pools()?;
         // lint:allow(seed-flow): placeholder seed — the stream is replaced by the snapshot's saved RNG state on the next line, so no draw ever comes from it
         let mut device = EdgeDevice::new(config, 0);
         device.rng = StdRng::from_state(snapshot.rng_state);
+        device.streams = snapshot.streams;
+        let per_user = matches!(snapshot.streams, StreamMode::PerUser { .. });
         for record in snapshot.users {
             let user = record.user;
-            let state = restore_user_owned(&config, record)?;
+            let words = record.rng_words;
+            let mut state = restore_user_owned(&config, record, &pools)?;
+            if per_user {
+                // Resume the user's private stream at its exact saved
+                // position — a restored shard never re-draws anything a
+                // user already received.
+                state.stream = Some(StdRng::from_state(words));
+            }
             *device.users.entry_or_insert_with(user, || UserState::new(&config)) = state;
             device.stats.restores += 1;
             device
@@ -390,6 +472,22 @@ impl EdgeDevice {
                 .push(SpendEvent { user: u64::from(user.raw()), kind: SpendKind::Restore });
         }
         Ok(device)
+    }
+
+    /// Decodes an encoded checkpoint and rebuilds the device from it —
+    /// the zero-copy recovery path: pooled candidate sets and posterior
+    /// tables are materialized once each and shared by every user record
+    /// that cites them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] on a corrupt or truncated checkpoint, or
+    /// any restore error from the decoded snapshot.
+    pub fn restore_from_checkpoint(
+        config: SystemConfig,
+        log: &[u8],
+    ) -> Result<EdgeDevice, RecoveryError> {
+        Self::restore_from(config, DeviceSnapshot::decode(log)?)
     }
 
     /// Serving observations accumulated since the last
@@ -463,16 +561,71 @@ impl EdgeDevice {
             let Some(record) = snapshot.record(user) else {
                 return Err(RecoveryError::BudgetViolation { user: user.raw() });
             };
-            let restored = record.table()?;
             for (top, candidates) in live.entries() {
-                match restored.entries().find(|(t, _)| *t == top) {
-                    Some((_, kept)) if kept == candidates => {}
-                    _ => return Err(RecoveryError::BudgetViolation { user: user.raw() }),
+                let kept = record
+                    .table
+                    .iter()
+                    .find(|(t, _)| *t == top)
+                    .map(|&(_, idx)| snapshot.set(idx, user.raw()))
+                    .transpose()?;
+                if kept != Some(candidates) {
+                    return Err(RecoveryError::BudgetViolation { user: user.raw() });
                 }
             }
         }
         *self = EdgeDevice::restore(self.config, snapshot)?;
         Ok(())
+    }
+
+    /// Measures the resident state of this shard: bytes attributable to
+    /// individual users versus bytes in shared pools (candidate sets and
+    /// posterior tables stored once per *distinct* `Arc`, however many
+    /// users cite them). The scale bench reports
+    /// [`StateFootprint::bytes_per_user`] from this — see DESIGN.md §16
+    /// for the budget it is held to.
+    pub fn footprint(&self) -> StateFootprint {
+        let mut fp = StateFootprint::default();
+        self.accumulate_footprint(&mut fp, &mut BTreeSet::new(), &mut BTreeSet::new());
+        fp
+    }
+
+    /// [`EdgeDevice::footprint`] with caller-owned dedup state, so a
+    /// fleet can sum several devices while counting an `Arc` shared
+    /// *across* devices once ([`crate::EdgeFleet::footprint`]).
+    pub(crate) fn accumulate_footprint(
+        &self,
+        fp: &mut StateFootprint,
+        seen_sets: &mut BTreeSet<usize>,
+        seen_tables: &mut BTreeSet<usize>,
+    ) {
+        use std::mem::size_of;
+        fp.users += self.users.len();
+        for state in self.users.values() {
+            let mut bytes = size_of::<UserId>() + size_of::<UserState>();
+            bytes += std::mem::size_of_val(state.manager.buffered());
+            bytes += (state.manager.profile().entries().len() + state.manager.top_set().len())
+                * size_of::<privlocad_attack::ProfileEntry>();
+            for (_, shared) in state.obfuscation.table().shared_entries() {
+                fp.candidate_set_refs += 1;
+                bytes += size_of::<(Point, Arc<[Point]>)>();
+                if seen_sets.insert(shared.as_ptr() as usize) {
+                    fp.distinct_candidate_sets += 1;
+                    // Payload plus the strong/weak counts in the Arc header.
+                    fp.shared_bytes +=
+                        (shared.len() * size_of::<Point>() + 2 * size_of::<usize>()) as u64;
+                }
+            }
+            for (_, shared) in state.selection.shared_entries() {
+                bytes += size_of::<(Point, Arc<PosteriorTable>)>();
+                if seen_tables.insert(Arc::as_ptr(shared) as usize) {
+                    fp.distinct_posterior_tables += 1;
+                    fp.shared_bytes += (std::mem::size_of_val(shared.cdf())
+                        + size_of::<PosteriorTable>()
+                        + 2 * size_of::<usize>()) as u64;
+                }
+            }
+            fp.user_bytes += bytes as u64;
+        }
     }
 
     /// Serves one end-to-end ad request: selects the reported location,
@@ -872,6 +1025,110 @@ mod tests {
         restored.drain_telemetry(&telemetry);
         assert_eq!(telemetry.ledger().totals().restores, 1);
         assert_eq!(telemetry.registry().snapshot().counter("recovery.restores"), Some(1));
+    }
+
+    #[test]
+    fn per_user_streams_are_shard_partition_invariant() {
+        let config = SystemConfig::builder().build().unwrap();
+        let master = 42;
+        let users: Vec<UserId> = (0..3).map(UserId::new).collect();
+        let home_of = |u: UserId| Point::new(f64::from(u.raw()) * 12_000.0, 500.0);
+
+        // One shard serving all three users, operations interleaved.
+        let mut combined = EdgeDevice::with_per_user_streams(config, master);
+        for _ in 0..60 {
+            for &u in &users {
+                combined.report_checkin(u, home_of(u));
+            }
+        }
+        for &u in &users {
+            combined.finalize_window(u);
+        }
+        let reports = |e: &mut EdgeDevice, u: UserId| {
+            (0..15).map(|_| e.reported_location(u, home_of(u))).collect::<Vec<_>>()
+        };
+        let mut combined_reports = Vec::new();
+        for &u in &users {
+            combined_reports.push(reports(&mut combined, u));
+        }
+
+        // Three single-user shards from the same master: bit-identical
+        // per-user outputs regardless of the partition.
+        for (i, &u) in users.iter().enumerate() {
+            let mut solo = EdgeDevice::with_per_user_streams(config, master);
+            for _ in 0..60 {
+                solo.report_checkin(u, home_of(u));
+            }
+            solo.finalize_window(u);
+            assert_eq!(reports(&mut solo, u), combined_reports[i], "user {}", u.raw());
+        }
+    }
+
+    #[test]
+    fn per_user_snapshot_restore_resumes_private_streams() {
+        let config = SystemConfig::builder().build().unwrap();
+        let mut original = EdgeDevice::with_per_user_streams(config, 7);
+        let users = [UserId::new(4), UserId::new(9)];
+        for &u in &users {
+            settle_home(&mut original, u, Point::new(f64::from(u.raw()) * 1_000.0, 0.0));
+            original.reported_location(u, Point::new(f64::from(u.raw()) * 1_000.0, 0.0));
+        }
+
+        let log = original.checkpoint();
+        let mut restored = EdgeDevice::restore_from_checkpoint(config, &log).unwrap();
+        // Future draws resume each private stream exactly where it stood.
+        for _ in 0..20 {
+            for &u in &users {
+                let home = Point::new(f64::from(u.raw()) * 1_000.0, 0.0);
+                assert_eq!(
+                    restored.reported_location(u, home),
+                    original.reported_location(u, home)
+                );
+                let nomadic = Point::new(40_000.0, 40_000.0);
+                assert_eq!(
+                    restored.reported_location(u, nomadic),
+                    original.reported_location(u, nomadic)
+                );
+            }
+        }
+        assert_eq!(restored.checkpoint(), original.checkpoint());
+    }
+
+    #[test]
+    fn restore_shares_pooled_state_and_footprint_counts_it_once() {
+        let config = SystemConfig::builder().build().unwrap();
+        let top = Point::new(800.0, -300.0);
+        let tops = vec![privlocad_attack::ProfileEntry { location: top, frequency: 60 }];
+
+        // A fleet-style install: one prepared set shared by two users.
+        let mut authority =
+            crate::ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m());
+        let mut arena = CandidateArena::new();
+        let mut pair_counter = 0;
+        arena.prepare(&mut authority, &[top], 11, &mut pair_counter);
+        let mut e = edge();
+        e.install_protection(UserId::new(1), tops.clone(), arena.sets());
+        e.install_protection(UserId::new(2), tops, arena.sets());
+
+        let fp = e.footprint();
+        assert_eq!(fp.users, 2);
+        assert_eq!(fp.candidate_set_refs, 2);
+        assert_eq!(fp.distinct_candidate_sets, 1, "shared set stored once");
+        assert_eq!(fp.distinct_posterior_tables, 1, "shared table stored once");
+        assert!(fp.user_bytes > 0 && fp.shared_bytes > 0);
+        assert!(fp.bytes_per_user() > 0.0);
+
+        // The snapshot pools it once too, and the pooled restore rebuilds
+        // the sharing: same footprint, identical re-encoded checkpoint.
+        let snap = e.snapshot();
+        assert_eq!(snap.distinct_candidate_sets(), 1);
+        let restored = EdgeDevice::restore_from_checkpoint(config, &e.checkpoint()).unwrap();
+        let rfp = restored.footprint();
+        assert_eq!(rfp.users, 2);
+        assert_eq!(rfp.candidate_set_refs, 2);
+        assert_eq!(rfp.distinct_candidate_sets, 1);
+        assert_eq!(rfp.distinct_posterior_tables, 1);
+        assert_eq!(restored.checkpoint(), e.checkpoint());
     }
 
     #[test]

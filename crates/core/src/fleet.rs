@@ -164,6 +164,25 @@ impl EdgeFleet {
         let idx = self.route(current_true);
         self.edges[idx].reported_location(user, current_true)
     }
+
+    /// Measures the fleet's resident state ([`crate::StateFootprint`]).
+    ///
+    /// Shared pools dedup *across* edges: a candidate set or posterior
+    /// table installed on every edge by [`EdgeFleet::finalize_user_window`]
+    /// is one `Arc` fleet-wide and is counted once, while `users` and
+    /// `candidate_set_refs` count per-edge residency (a commuter served by
+    /// two edges contributes two resident user states). The staging
+    /// arena's live handles are included under the same dedup.
+    pub fn footprint(&self) -> crate::StateFootprint {
+        let mut fp = crate::StateFootprint::default();
+        let mut seen_sets = std::collections::BTreeSet::new();
+        let mut seen_tables = std::collections::BTreeSet::new();
+        for edge in &self.edges {
+            edge.accumulate_footprint(&mut fp, &mut seen_sets, &mut seen_tables);
+        }
+        self.arena.accumulate_footprint(&mut fp, &mut seen_sets, &mut seen_tables);
+        fp
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +317,35 @@ mod tests {
             assert_eq!(metrics.counter("edge.fresh_candidate_sets"), Some(0));
             assert_eq!(telemetry.ledger().totals().candidate_sets, 0);
         }
+    }
+
+    #[test]
+    fn footprint_counts_cross_edge_shared_sets_once() {
+        let mut f = fleet();
+        let user = UserId::new(5);
+        let home = Point::new(60.0, 0.0);
+        let office = Point::new(11_940.0, 0.0);
+        for _ in 0..60 {
+            f.report_checkin(user, home);
+        }
+        for _ in 0..40 {
+            f.report_checkin(user, office);
+        }
+        assert_eq!(f.finalize_user_window(user), 2);
+
+        let fp = f.footprint();
+        // One user resident on both edges, each edge citing both sets…
+        assert_eq!(fp.users, 2);
+        assert_eq!(fp.candidate_set_refs, 4);
+        // …but the Arc-shared install stores each set (and its warmed
+        // posterior table) exactly once fleet-wide.
+        assert_eq!(fp.distinct_candidate_sets, 2);
+        assert_eq!(fp.distinct_posterior_tables, 2);
+        assert!(fp.shared_bytes > 0);
+        assert_eq!(fp.total_bytes(), fp.user_bytes + fp.shared_bytes);
+        // Sanity: summing per-edge footprints double counts the pools.
+        let naive: u64 = (0..f.len()).map(|i| f.edge(i).footprint().shared_bytes).sum();
+        assert_eq!(naive, 2 * fp.shared_bytes);
     }
 
     #[test]

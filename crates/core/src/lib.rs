@@ -69,12 +69,14 @@ pub mod protocol;
 pub mod recovery;
 mod risk;
 mod server;
+mod shard;
 mod system;
 mod user;
 
 pub use arena::{CandidateArena, PreparedSet};
 pub use concurrent::SharedEdgeDevice;
-pub use recovery::{candidate_redraws, DeviceSnapshot, RecoveryError};
+pub use recovery::{candidate_redraws, DeviceSnapshot, RecoveryError, StreamMode};
+pub use shard::{ShardRouter, StateFootprint};
 pub use risk::{LocationRisk, Recommendation, RiskAssessor, RiskReport};
 pub use server::{
     EdgeHandle, EdgeServer, FaultPlan, HealthSnapshot, RetryPolicy, ServerOptions, TransportError,

@@ -122,6 +122,14 @@ impl ObfuscationTable {
         self.entries.iter().map(|(top, candidates)| (*top, &**candidates))
     }
 
+    /// Iterates the entries with their shared candidate-set handles —
+    /// used by checkpoint capture and footprint accounting, which dedup
+    /// by `Arc` identity so a set shared across users is counted (and
+    /// serialized) once.
+    pub fn shared_entries(&self) -> impl Iterator<Item = (Point, &Arc<[Point]>)> {
+        self.entries.iter().map(|(top, candidates)| (*top, candidates))
+    }
+
     /// Number of protected top locations.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -297,6 +305,13 @@ impl ObfuscationModule {
             mechanism: NFoldGaussian::new(params),
             table: ObfuscationTable::decode(image)?,
         })
+    }
+
+    /// Assembles the module around an already-populated table — the
+    /// pooled checkpoint restore path builds the table entry by entry
+    /// from shared `Arc<[Point]>` handles and hands it over whole.
+    pub(crate) fn from_table(params: GeoIndParams, table: ObfuscationTable) -> Self {
+        ObfuscationModule { mechanism: NFoldGaussian::new(params), table }
     }
 
     /// Installs an externally generated candidate set (e.g. one produced

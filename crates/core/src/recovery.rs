@@ -12,9 +12,23 @@
 //! [`DeviceSnapshot`] captures everything a device needs to resume
 //! exactly where it stood: per-user candidate sets (the obfuscation
 //! table), posterior-weight tables, the open window's check-in buffer,
-//! the profile, the window epoch, and the generator state. The byte log
-//! ([`DeviceSnapshot::encode`]) is versioned and FNV-1a checksummed, so
-//! bit rot in persisted state surfaces as a structured
+//! the profile, the window epoch, and the generator state. Candidate
+//! sets and posterior tables are **pooled**: the snapshot stores each
+//! distinct set once (deduplicated by `Arc` identity at capture time)
+//! and user records hold `u32` references into the pools, so a
+//! fleet-distributed set shared by a thousand users costs one pool entry
+//! plus a thousand 20-byte references — this is what keeps the per-shard
+//! bytes/user budget flat as the fleet grows (DESIGN.md §16).
+//!
+//! The byte log ([`DeviceSnapshot::encode`]) is versioned,
+//! length-prefix-framed, and FNV-1a checksummed. Version 2 is the
+//! current format: one contiguous buffer per device, every pool entry
+//! and user record carried as a length-prefixed frame, decoded by an
+//! in-place slice reader — the only allocations on the decode path are
+//! the final owned state (one `Arc` per **distinct** candidate set, not
+//! one per user record). Version 1 logs (one embedded table image and
+//! private CDF vector per user) remain decodable behind the version
+//! field. Bit rot in persisted state surfaces as a structured
 //! [`RecoveryError`] instead of a corrupted privacy ledger.
 //!
 //! The budget guard lives in [`crate::EdgeDevice::adopt_snapshot`]: a
@@ -22,6 +36,9 @@
 //! its released candidates ([`RecoveryError::BudgetViolation`]), because
 //! the forgotten top location would be silently re-obfuscated at the
 //! next window close.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use privlocad_attack::{LocationProfile, ProfileEntry};
@@ -34,8 +51,10 @@ use crate::{LocationManager, ObfuscationModule, ObfuscationTable, SystemConfig, 
 
 /// Log magic: `"PLAD"` big-endian.
 const MAGIC: u32 = 0x504C_4144;
-/// Current log format version.
-const VERSION: u16 = 1;
+/// Current log format version: pooled, length-prefix-framed.
+const VERSION: u16 = 2;
+/// The original one-table-image-per-user format, still decodable.
+const VERSION_V1: u16 = 1;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -51,68 +70,168 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// One user's checkpointed serving state.
+/// How the captured device assigns RNG streams to serving operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// One device-wide generator advanced in operation order (the
+    /// classic single-device mode).
+    Device,
+    /// An independent generator per user, derived from the fleet master
+    /// seed — serving outputs become invariant to how the population is
+    /// partitioned across shards, because no user's draws depend on any
+    /// other user's operation interleaving.
+    PerUser {
+        /// The fleet master seed the per-user streams derive from.
+        master: u64,
+    },
+}
+
+/// One user's checkpointed serving state. Bulky payloads (candidate
+/// sets, posterior CDFs) live in the snapshot-level pools; the record
+/// holds `u32` references into them.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct UserRecord {
     pub(crate) user: UserId,
     /// Window epoch: how many profile windows this user has closed.
     pub(crate) windows_closed: u64,
+    /// The user's private RNG stream position ([`StreamMode::PerUser`]
+    /// devices only; all zeros otherwise).
+    pub(crate) rng_words: [u64; 4],
     /// The open window's buffered check-ins, oldest first.
     pub(crate) buffer: Vec<Point>,
     /// The last computed profile, in its recorded entry order.
     pub(crate) profile: Vec<ProfileEntry>,
     /// The η-frequent location set.
     pub(crate) top_set: Vec<ProfileEntry>,
-    /// The obfuscation table image ([`ObfuscationTable::encode`]) — the
-    /// permanent candidate sets whose loss would be a budget violation.
-    pub(crate) table_image: Vec<u8>,
-    /// Cached posterior tables as `(top, cumulative weights)` pairs.
-    pub(crate) tables: Vec<(Point, Vec<f64>)>,
+    /// The obfuscation table's proximity match radius, meters.
+    pub(crate) table_radius: f64,
+    /// The permanent obfuscation table: `(top, candidate-pool index)` —
+    /// the released candidate sets whose loss would be a budget
+    /// violation.
+    pub(crate) table: Vec<(Point, u32)>,
+    /// The posterior cache: `(top, CDF-pool index)`.
+    pub(crate) cache: Vec<(Point, u32)>,
 }
 
-impl UserRecord {
-    /// The record's obfuscation table, decoded from its image.
-    pub(crate) fn table(&self) -> Result<ObfuscationTable, RecoveryError> {
-        ObfuscationTable::decode(&self.table_image).map_err(RecoveryError::Table)
+/// Accumulates user captures into a pooled [`DeviceSnapshot`]:
+/// candidate sets and posterior tables are deduplicated by `Arc`
+/// identity, so state installed fleet-wide through
+/// [`crate::CandidateArena`] sharing is stored once per **distinct**
+/// set, not once per user. Pool indices are assigned in first-seen
+/// order over the (ascending) capture sequence, which keeps the
+/// resulting snapshot — and its encoded bytes — deterministic.
+pub(crate) struct SnapshotBuilder {
+    sets: Vec<Arc<[Point]>>,
+    /// `Arc` data-pointer → pool index; lookup only, never iterated.
+    set_index: BTreeMap<usize, u32>,
+    cdfs: Vec<Vec<f64>>,
+    cdf_index: BTreeMap<usize, u32>,
+    users: Vec<UserRecord>,
+}
+
+impl SnapshotBuilder {
+    pub(crate) fn new() -> Self {
+        SnapshotBuilder {
+            sets: Vec::new(),
+            set_index: BTreeMap::new(),
+            cdfs: Vec::new(),
+            cdf_index: BTreeMap::new(),
+            users: Vec::new(),
+        }
     }
 
-    /// Captures one user's live serving state.
-    pub(crate) fn capture(user: UserId, state: &UserState) -> UserRecord {
-        UserRecord {
+    /// Captures one user's live serving state into the pools.
+    pub(crate) fn capture(&mut self, user: UserId, state: &UserState) {
+        let table = state.obfuscation.table();
+        let mut table_refs = Vec::with_capacity(table.len());
+        for (top, shared) in table.shared_entries() {
+            let key = shared.as_ptr() as usize;
+            let idx = match self.set_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = self.sets.len() as u32;
+                    self.sets.push(Arc::clone(shared));
+                    self.set_index.insert(key, i);
+                    i
+                }
+            };
+            table_refs.push((top, idx));
+        }
+        let mut cache_refs = Vec::new();
+        for (top, shared) in state.selection.shared_entries() {
+            let key = Arc::as_ptr(shared) as usize;
+            let idx = match self.cdf_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = self.cdfs.len() as u32;
+                    self.cdfs.push(shared.cdf().to_vec());
+                    self.cdf_index.insert(key, i);
+                    i
+                }
+            };
+            cache_refs.push((top, idx));
+        }
+        self.users.push(UserRecord {
             user,
             windows_closed: state.manager.windows_closed() as u64,
+            rng_words: state.stream.as_ref().map_or([0; 4], |r| r.state()),
             buffer: state.manager.buffered().to_vec(),
             profile: state.manager.profile().entries().to_vec(),
             top_set: state.manager.top_set().to_vec(),
-            // lint:allow(location-leak): the snapshot must carry the true window state to restore bit-identically; checkpoints never leave the trusted edge store and `restore_from` is the only consumer (DESIGN.md §12)
-            table_image: state.obfuscation.table().encode().to_vec(),
-            tables: state
-                .selection
-                .entries()
-                .map(|(top, table)| (top, table.cdf().to_vec()))
-                .collect(),
+            table_radius: table.match_radius_m(),
+            table: table_refs,
+            cache: cache_refs,
+        });
+    }
+
+    /// Seals the builder into a snapshot.
+    pub(crate) fn finish(
+        self,
+        rng_state: [u64; 4],
+        op_counter: u64,
+        streams: StreamMode,
+    ) -> DeviceSnapshot {
+        DeviceSnapshot {
+            rng_state,
+            op_counter,
+            streams,
+            sets: self.sets,
+            cdfs: self.cdfs,
+            users: self.users,
         }
     }
+}
+
+/// The shared-state side of a restore: every pooled candidate set and
+/// posterior table materialized **once**, then handed to each user
+/// record as two `Arc` bumps. Validation (CDF invariants) also happens
+/// once per distinct table instead of once per user.
+#[derive(Debug)]
+pub(crate) struct RestorePools {
+    pub(crate) sets: Vec<Arc<[Point]>>,
+    pub(crate) tables: Vec<Arc<PosteriorTable>>,
 }
 
 /// Rebuilds one user's serving state from its checkpoint record: window
 /// state verbatim (profile entries in their recorded order — the order is
 /// load-bearing, `from_checkins` does not sort), the obfuscation table
-/// from its image, and the posterior cache re-validated entry by entry.
+/// and posterior cache as shared handles into the restore pools.
 pub(crate) fn restore_user(
     config: &SystemConfig,
     record: &UserRecord,
+    pools: &RestorePools,
 ) -> Result<UserState, RecoveryError> {
-    restore_user_owned(config, record.clone())
+    restore_user_owned(config, record.clone(), pools)
 }
 
 /// [`restore_user`], consuming the record: the check-in buffer, profile,
-/// top set, and posterior CDFs move straight into the rebuilt state with
-/// no intermediate clones. Restore paths that own the decoded snapshot
-/// (see [`crate::EdgeDevice::restore_from`]) should prefer this.
+/// and top set move straight into the rebuilt state with no intermediate
+/// clones. Restore paths that own the decoded snapshot (see
+/// [`crate::EdgeDevice::restore_from`]) should prefer this.
 pub(crate) fn restore_user_owned(
     config: &SystemConfig,
     record: UserRecord,
+    pools: &RestorePools,
 ) -> Result<UserState, RecoveryError> {
     let user = record.user.raw();
     let mut manager = LocationManager::new(config.profile_theta_m(), config.eta());
@@ -122,15 +241,23 @@ pub(crate) fn restore_user_owned(
         record.top_set,
         record.windows_closed as usize,
     );
-    let obfuscation = ObfuscationModule::with_restored_table(config.geo_ind(), &record.table_image)
-        .map_err(RecoveryError::Table)?;
-    let mut selection = SelectionCache::new();
-    for (top, cdf) in record.tables {
-        let table =
-            PosteriorTable::from_cdf(cdf).ok_or(RecoveryError::InvalidPosterior { user })?;
-        selection.install(top, table);
+    if !(record.table_radius.is_finite() && record.table_radius > 0.0) {
+        return Err(RecoveryError::Table(TableDecodeError::InvalidRadius(record.table_radius)));
     }
-    Ok(UserState { manager, obfuscation, selection })
+    let mut table = ObfuscationTable::new(record.table_radius);
+    for (top, idx) in record.table {
+        let set =
+            pools.sets.get(idx as usize).ok_or(RecoveryError::BadPoolRef { user })?;
+        table.insert_shared(top, Arc::clone(set));
+    }
+    let obfuscation = ObfuscationModule::from_table(config.geo_ind(), table);
+    let mut selection = SelectionCache::new();
+    for (top, idx) in record.cache {
+        let shared =
+            pools.tables.get(idx as usize).ok_or(RecoveryError::BadPoolRef { user })?;
+        selection.install_shared(top, Arc::clone(shared));
+    }
+    Ok(UserState { manager, obfuscation, selection, stream: None })
 }
 
 /// A full checkpoint of one edge device: every user's state plus the
@@ -144,6 +271,11 @@ pub(crate) fn restore_user_owned(
 pub struct DeviceSnapshot {
     pub(crate) rng_state: [u64; 4],
     pub(crate) op_counter: u64,
+    pub(crate) streams: StreamMode,
+    /// Distinct permanent candidate sets, in first-seen capture order.
+    pub(crate) sets: Vec<Arc<[Point]>>,
+    /// Distinct posterior cumulative-weight tables, first-seen order.
+    pub(crate) cdfs: Vec<Vec<f64>>,
     pub(crate) users: Vec<UserRecord>,
 }
 
@@ -158,8 +290,41 @@ impl DeviceSnapshot {
         self.users.iter().map(|r| (r.user, r.windows_closed))
     }
 
+    /// Number of distinct pooled candidate sets.
+    pub fn distinct_candidate_sets(&self) -> usize {
+        self.sets.len()
+    }
+
     pub(crate) fn record(&self, user: UserId) -> Option<&UserRecord> {
         self.users.iter().find(|r| r.user == user)
+    }
+
+    /// The pooled candidate set behind reference `idx` of `user`.
+    pub(crate) fn set(&self, idx: u32, user: u32) -> Result<&[Point], RecoveryError> {
+        self.sets
+            .get(idx as usize)
+            .map(|s| &**s)
+            .ok_or(RecoveryError::BadPoolRef { user })
+    }
+
+    /// Builds the restore pools: every pooled CDF validated and
+    /// materialized as a shared [`PosteriorTable`] exactly once.
+    pub(crate) fn pools(&self) -> Result<RestorePools, RecoveryError> {
+        let mut tables = Vec::with_capacity(self.cdfs.len());
+        for (idx, cdf) in self.cdfs.iter().enumerate() {
+            let table = PosteriorTable::from_cdf(cdf.clone()).ok_or_else(|| {
+                // Error context: the first user whose cache cites the
+                // defective pool entry (error path only — never hot).
+                let user = self
+                    .users
+                    .iter()
+                    .find(|r| r.cache.iter().any(|&(_, i)| i as usize == idx))
+                    .map_or(u32::MAX, |r| r.user.raw());
+                RecoveryError::InvalidPosterior { user }
+            })?;
+            tables.push(Arc::new(table));
+        }
+        Ok(RestorePools { sets: self.sets.clone(), tables })
     }
 
     /// Every `(user, top location)` pair holding a released permanent
@@ -169,46 +334,91 @@ impl DeviceSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`RecoveryError`] if a user's table image fails to decode.
+    /// Returns [`RecoveryError`] if a record cites a missing pool entry.
     pub fn released_sets(&self) -> Result<Vec<(UserId, Point)>, RecoveryError> {
         let mut sets = Vec::new();
         for record in &self.users {
-            let table = record.table()?;
-            for (top, _) in table.entries() {
+            for &(top, idx) in &record.table {
+                self.set(idx, record.user.raw())?;
                 sets.push((record.user, top));
             }
         }
         Ok(sets)
     }
 
-    /// Serializes the snapshot into the versioned, FNV-1a-checksummed
-    /// byte log. An edge deployment persists this image durably and
-    /// restores it with [`DeviceSnapshot::decode`] on startup.
+    /// Serializes the snapshot into the versioned, length-prefix-framed,
+    /// FNV-1a-checksummed byte log (format version 2): one contiguous
+    /// buffer, pools first, then one frame per user holding `u32`
+    /// references into them. An edge deployment persists this image
+    /// durably and restores it with [`DeviceSnapshot::decode`] on
+    /// startup.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.users.len() * 256);
+        let per_user = matches!(self.streams, StreamMode::PerUser { .. });
+        let mut capacity = 64 + 8;
+        for set in &self.sets {
+            capacity += 8 + set.len() * 16;
+        }
+        for cdf in &self.cdfs {
+            capacity += 8 + cdf.len() * 8;
+        }
+        for record in &self.users {
+            capacity += 4 + user_frame_len(record, per_user);
+        }
+        let mut buf = BytesMut::with_capacity(capacity);
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
+        match self.streams {
+            StreamMode::Device => {
+                buf.put_u8(0);
+                buf.put_u64(0);
+            }
+            StreamMode::PerUser { master } => {
+                buf.put_u8(1);
+                buf.put_u64(master);
+            }
+        }
         for word in self.rng_state {
             buf.put_u64(word);
         }
         buf.put_u64(self.op_counter);
+        buf.put_u32(self.sets.len() as u32);
+        for set in &self.sets {
+            buf.put_u32((4 + set.len() * 16) as u32);
+            put_points(&mut buf, set);
+        }
+        buf.put_u32(self.cdfs.len() as u32);
+        for cdf in &self.cdfs {
+            buf.put_u32((4 + cdf.len() * 8) as u32);
+            buf.put_u32(cdf.len() as u32);
+            for &w in cdf {
+                buf.put_f64(w);
+            }
+        }
         buf.put_u32(self.users.len() as u32);
         for record in &self.users {
+            buf.put_u32(user_frame_len(record, per_user) as u32);
             buf.put_u32(record.user.raw());
             buf.put_u64(record.windows_closed);
+            if per_user {
+                for word in record.rng_words {
+                    buf.put_u64(word);
+                }
+            }
             put_points(&mut buf, &record.buffer);
             put_entries(&mut buf, &record.profile);
             put_entries(&mut buf, &record.top_set);
-            buf.put_u32(record.table_image.len() as u32);
-            buf.put_slice(&record.table_image);
-            buf.put_u32(record.tables.len() as u32);
-            for (top, cdf) in &record.tables {
+            buf.put_f64(record.table_radius);
+            buf.put_u32(record.table.len() as u32);
+            for &(top, idx) in &record.table {
                 buf.put_f64(top.x);
                 buf.put_f64(top.y);
-                buf.put_u32(cdf.len() as u32);
-                for &w in cdf {
-                    buf.put_f64(w);
-                }
+                buf.put_u32(idx);
+            }
+            buf.put_u32(record.cache.len() as u32);
+            for &(top, idx) in &record.cache {
+                buf.put_f64(top.x);
+                buf.put_f64(top.y);
+                buf.put_u32(idx);
             }
         }
         let checksum = fnv1a(&buf);
@@ -216,12 +426,12 @@ impl DeviceSnapshot {
         buf.freeze()
     }
 
-    /// Restores a snapshot from its byte log.
+    /// Restores a snapshot from its byte log (either format version).
     ///
     /// Total: truncated, oversized, bit-flipped, or wrong-format input
     /// yields a structured [`RecoveryError`], never a panic or an
     /// unbounded allocation. The checksum is verified before any field is
-    /// trusted.
+    /// trusted, and every pool reference is bounds-checked during decode.
     ///
     /// # Errors
     ///
@@ -238,70 +448,261 @@ impl DeviceSnapshot {
         if stored != computed {
             return Err(RecoveryError::ChecksumMismatch { stored, computed });
         }
-        let mut buf = body;
-        need(buf, 6)?;
-        let magic = buf.get_u32();
+        let mut reader = Reader { buf: body };
+        reader.need(6)?;
+        let magic = reader.get_u32()?;
         if magic != MAGIC {
             return Err(RecoveryError::BadMagic(magic));
         }
-        let version = buf.get_u16();
-        if version != VERSION {
-            return Err(RecoveryError::UnsupportedVersion(version));
+        let version = reader.get_u16()?;
+        match version {
+            VERSION_V1 => decode_v1(reader),
+            VERSION => decode_v2(reader),
+            v => Err(RecoveryError::UnsupportedVersion(v)),
         }
-        need(buf, 4 * 8 + 8 + 4)?;
-        let mut rng_state = [0u64; 4];
-        for word in rng_state.iter_mut() {
-            *word = buf.get_u64();
-        }
-        let op_counter = buf.get_u64();
-        let user_count = buf.get_u32() as usize;
-        let mut users = Vec::with_capacity(user_count.min(1_024));
-        for _ in 0..user_count {
-            need(buf, 12)?;
-            let user = UserId::new(buf.get_u32());
-            let windows_closed = buf.get_u64();
-            let buffer = get_points(&mut buf)?;
-            let profile = get_entries(&mut buf)?;
-            let top_set = get_entries(&mut buf)?;
-            need(buf, 4)?;
-            let image_len = buf.get_u32() as usize;
-            need(buf, image_len)?;
-            let table_image = buf[..image_len].to_vec();
-            buf.advance(image_len);
-            need(buf, 4)?;
-            let table_count = buf.get_u32() as usize;
-            let mut tables = Vec::with_capacity(table_count.min(1_024));
-            for _ in 0..table_count {
-                need(buf, 20)?;
-                let top = Point::new(buf.get_f64(), buf.get_f64());
-                let cdf_len = buf.get_u32() as usize;
-                need(buf, cdf_len.saturating_mul(8))?;
-                let cdf = (0..cdf_len).map(|_| buf.get_f64()).collect();
-                tables.push((top, cdf));
-            }
-            users.push(UserRecord {
-                user,
-                windows_closed,
-                buffer,
-                profile,
-                top_set,
-                table_image,
-                tables,
-            });
-        }
-        if !buf.is_empty() {
-            return Err(RecoveryError::TrailingBytes(buf.len()));
-        }
-        Ok(DeviceSnapshot { rng_state, op_counter, users })
     }
 }
 
-fn need(buf: &[u8], needed: usize) -> Result<(), RecoveryError> {
-    if buf.len() < needed {
-        Err(RecoveryError::Truncated)
-    } else {
-        Ok(())
+/// The byte length of one user record's v2 frame body.
+fn user_frame_len(record: &UserRecord, per_user: bool) -> usize {
+    4 + 8
+        + if per_user { 32 } else { 0 }
+        + 4
+        + record.buffer.len() * 16
+        + 4
+        + record.profile.len() * 24
+        + 4
+        + record.top_set.len() * 24
+        + 8
+        + 4
+        + record.table.len() * 20
+        + 4
+        + record.cache.len() * 20
+}
+
+/// Bounds-checked big-endian reader over a borrowed log body. Frames
+/// ([`Reader::frame`]) are sub-slices of the same buffer — the reader
+/// never copies bytes; only the final owned state allocates.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, needed: usize) -> Result<(), RecoveryError> {
+        if self.buf.len() < needed {
+            Err(RecoveryError::Truncated)
+        } else {
+            Ok(())
+        }
     }
+
+    fn get_u8(&mut self) -> Result<u8, RecoveryError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn get_u16(&mut self) -> Result<u16, RecoveryError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    fn get_u32(&mut self) -> Result<u32, RecoveryError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    fn get_u64(&mut self) -> Result<u64, RecoveryError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn get_f64(&mut self) -> Result<f64, RecoveryError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64())
+    }
+
+    /// Reads a length prefix and splits off that many bytes as a
+    /// sub-reader — the length-prefixed frame primitive. The parent
+    /// advances past the frame whether or not the caller consumes it.
+    fn frame(&mut self) -> Result<Reader<'a>, RecoveryError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(Reader { buf: head })
+    }
+
+    /// Asserts the reader was fully consumed.
+    fn finish(self) -> Result<(), RecoveryError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(RecoveryError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+/// Decodes the original v1 body (one embedded table image and private
+/// CDF vector per user) into the pooled representation: each user's
+/// payloads are appended to the pools without deduplication — v1 logs
+/// predate cross-user sharing, so there is nothing to share.
+fn decode_v1(mut r: Reader<'_>) -> Result<DeviceSnapshot, RecoveryError> {
+    r.need(4 * 8 + 8 + 4)?;
+    let mut rng_state = [0u64; 4];
+    for word in rng_state.iter_mut() {
+        *word = r.get_u64()?;
+    }
+    let op_counter = r.get_u64()?;
+    let user_count = r.get_u32()? as usize;
+    let mut sets: Vec<Arc<[Point]>> = Vec::new();
+    let mut cdfs: Vec<Vec<f64>> = Vec::new();
+    let mut users = Vec::with_capacity(user_count.min(1_024));
+    for _ in 0..user_count {
+        r.need(12)?;
+        let user = UserId::new(r.get_u32()?);
+        let windows_closed = r.get_u64()?;
+        let buffer = get_points(&mut r)?;
+        let profile = get_entries(&mut r)?;
+        let top_set = get_entries(&mut r)?;
+        let image_len = r.get_u32()? as usize;
+        r.need(image_len)?;
+        let (image, rest) = r.buf.split_at(image_len);
+        r.buf = rest;
+        let decoded = ObfuscationTable::decode(image).map_err(RecoveryError::Table)?;
+        let table_radius = decoded.match_radius_m();
+        let mut table = Vec::with_capacity(decoded.len());
+        for (top, shared) in decoded.shared_entries() {
+            table.push((top, sets.len() as u32));
+            sets.push(Arc::clone(shared));
+        }
+        let table_count = r.get_u32()? as usize;
+        let mut cache = Vec::with_capacity(table_count.min(1_024));
+        for _ in 0..table_count {
+            r.need(20)?;
+            let top = Point::new(r.get_f64()?, r.get_f64()?);
+            let cdf_len = r.get_u32()? as usize;
+            r.need(cdf_len.saturating_mul(8))?;
+            let mut cdf = Vec::with_capacity(cdf_len);
+            for _ in 0..cdf_len {
+                cdf.push(r.get_f64()?);
+            }
+            cache.push((top, cdfs.len() as u32));
+            cdfs.push(cdf);
+        }
+        users.push(UserRecord {
+            user,
+            windows_closed,
+            rng_words: [0; 4],
+            buffer,
+            profile,
+            top_set,
+            table_radius,
+            table,
+            cache,
+        });
+    }
+    r.finish()?;
+    Ok(DeviceSnapshot { rng_state, op_counter, streams: StreamMode::Device, sets, cdfs, users })
+}
+
+/// Decodes the pooled, framed v2 body.
+fn decode_v2(mut r: Reader<'_>) -> Result<DeviceSnapshot, RecoveryError> {
+    r.need(1 + 8 + 4 * 8 + 8 + 4)?;
+    let mode = r.get_u8()?;
+    let master = r.get_u64()?;
+    let streams = match mode {
+        0 => StreamMode::Device,
+        1 => StreamMode::PerUser { master },
+        m => return Err(RecoveryError::BadStreamMode(m)),
+    };
+    let per_user = matches!(streams, StreamMode::PerUser { .. });
+    let mut rng_state = [0u64; 4];
+    for word in rng_state.iter_mut() {
+        *word = r.get_u64()?;
+    }
+    let op_counter = r.get_u64()?;
+
+    let set_count = r.get_u32()? as usize;
+    let mut sets: Vec<Arc<[Point]>> = Vec::with_capacity(set_count.min(1_024));
+    for _ in 0..set_count {
+        let mut f = r.frame()?;
+        let points = get_points(&mut f)?;
+        f.finish()?;
+        sets.push(Arc::from(points));
+    }
+
+    let cdf_count = r.get_u32()? as usize;
+    let mut cdfs: Vec<Vec<f64>> = Vec::with_capacity(cdf_count.min(1_024));
+    for _ in 0..cdf_count {
+        let mut f = r.frame()?;
+        let len = f.get_u32()? as usize;
+        f.need(len.saturating_mul(8))?;
+        let mut cdf = Vec::with_capacity(len);
+        for _ in 0..len {
+            cdf.push(f.get_f64()?);
+        }
+        f.finish()?;
+        cdfs.push(cdf);
+    }
+
+    let user_count = r.get_u32()? as usize;
+    let mut users = Vec::with_capacity(user_count.min(1_024));
+    for _ in 0..user_count {
+        let mut f = r.frame()?;
+        f.need(12)?;
+        let user = UserId::new(f.get_u32()?);
+        let raw = user.raw();
+        let windows_closed = f.get_u64()?;
+        let mut rng_words = [0u64; 4];
+        if per_user {
+            for word in rng_words.iter_mut() {
+                *word = f.get_u64()?;
+            }
+        }
+        let buffer = get_points(&mut f)?;
+        let profile = get_entries(&mut f)?;
+        let top_set = get_entries(&mut f)?;
+        let table_radius = f.get_f64()?;
+        if !(table_radius.is_finite() && table_radius > 0.0) {
+            return Err(RecoveryError::Table(TableDecodeError::InvalidRadius(table_radius)));
+        }
+        let table_count = f.get_u32()? as usize;
+        let mut table = Vec::with_capacity(table_count.min(1_024));
+        for _ in 0..table_count {
+            f.need(20)?;
+            let top = Point::new(f.get_f64()?, f.get_f64()?);
+            let idx = f.get_u32()?;
+            if idx as usize >= sets.len() {
+                return Err(RecoveryError::BadPoolRef { user: raw });
+            }
+            table.push((top, idx));
+        }
+        let cache_count = f.get_u32()? as usize;
+        let mut cache = Vec::with_capacity(cache_count.min(1_024));
+        for _ in 0..cache_count {
+            f.need(20)?;
+            let top = Point::new(f.get_f64()?, f.get_f64()?);
+            let idx = f.get_u32()?;
+            if idx as usize >= cdfs.len() {
+                return Err(RecoveryError::BadPoolRef { user: raw });
+            }
+            cache.push((top, idx));
+        }
+        f.finish()?;
+        users.push(UserRecord {
+            user,
+            windows_closed,
+            rng_words,
+            buffer,
+            profile,
+            top_set,
+            table_radius,
+            table,
+            cache,
+        });
+    }
+    r.finish()?;
+    Ok(DeviceSnapshot { rng_state, op_counter, streams, sets, cdfs, users })
 }
 
 fn put_points(buf: &mut BytesMut, points: &[Point]) {
@@ -312,11 +713,14 @@ fn put_points(buf: &mut BytesMut, points: &[Point]) {
     }
 }
 
-fn get_points(buf: &mut &[u8]) -> Result<Vec<Point>, RecoveryError> {
-    need(buf, 4)?;
-    let count = buf.get_u32() as usize;
-    need(buf, count.saturating_mul(16))?;
-    Ok((0..count).map(|_| Point::new(buf.get_f64(), buf.get_f64())).collect())
+fn get_points(r: &mut Reader<'_>) -> Result<Vec<Point>, RecoveryError> {
+    let count = r.get_u32()? as usize;
+    r.need(count.saturating_mul(16))?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        points.push(Point::new(r.get_f64()?, r.get_f64()?));
+    }
+    Ok(points)
 }
 
 fn put_entries(buf: &mut BytesMut, entries: &[ProfileEntry]) {
@@ -328,16 +732,17 @@ fn put_entries(buf: &mut BytesMut, entries: &[ProfileEntry]) {
     }
 }
 
-fn get_entries(buf: &mut &[u8]) -> Result<Vec<ProfileEntry>, RecoveryError> {
-    need(buf, 4)?;
-    let count = buf.get_u32() as usize;
-    need(buf, count.saturating_mul(24))?;
-    Ok((0..count)
-        .map(|_| ProfileEntry {
-            location: Point::new(buf.get_f64(), buf.get_f64()),
-            frequency: buf.get_u64() as usize,
-        })
-        .collect())
+fn get_entries(r: &mut Reader<'_>) -> Result<Vec<ProfileEntry>, RecoveryError> {
+    let count = r.get_u32()? as usize;
+    r.need(count.saturating_mul(24))?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(ProfileEntry {
+            location: Point::new(r.get_f64()?, r.get_f64()?),
+            frequency: r.get_u64()? as usize,
+        });
+    }
+    Ok(entries)
 }
 
 /// Counts candidate re-draws between two snapshots of the same device: a
@@ -350,8 +755,8 @@ fn get_entries(buf: &mut &[u8]) -> Result<Vec<ProfileEntry>, RecoveryError> {
 ///
 /// # Errors
 ///
-/// Propagates [`RecoveryError::Table`] if either snapshot carries a
-/// corrupt obfuscation-table image.
+/// Propagates [`RecoveryError::BadPoolRef`] if either snapshot cites a
+/// missing pool entry.
 pub fn candidate_redraws(
     before: &DeviceSnapshot,
     after: &DeviceSnapshot,
@@ -361,12 +766,10 @@ pub fn candidate_redraws(
         let Some(newer) = after.record(record.user) else {
             continue;
         };
-        let old_table = record.table()?;
-        let new_table = newer.table()?;
-        for (top, old_candidates) in old_table.entries() {
-            if let Some((_, new_candidates)) =
-                new_table.entries().find(|(t, _)| *t == top)
-            {
+        for &(top, old_idx) in &record.table {
+            let old_candidates = before.set(old_idx, record.user.raw())?;
+            if let Some(&(_, new_idx)) = newer.table.iter().find(|(t, _)| *t == top) {
+                let new_candidates = after.set(new_idx, newer.user.raw())?;
                 if new_candidates != old_candidates {
                     redraws += 1;
                 }
@@ -385,6 +788,8 @@ pub enum RecoveryError {
     BadMagic(u32),
     /// The log was written by an unknown format version.
     UnsupportedVersion(u16),
+    /// The log carries an unknown stream-mode discriminant.
+    BadStreamMode(u8),
     /// The FNV-1a checksum does not match the body — bit rot or
     /// truncation in persisted state.
     ChecksumMismatch {
@@ -397,6 +802,12 @@ pub enum RecoveryError {
     TrailingBytes(usize),
     /// An embedded obfuscation-table image failed to decode.
     Table(TableDecodeError),
+    /// A user record references a pooled candidate set or posterior
+    /// table that is not present in the snapshot.
+    BadPoolRef {
+        /// The raw id of the affected user.
+        user: u32,
+    },
     /// A checkpointed posterior table violates the cumulative-weight
     /// invariants.
     InvalidPosterior {
@@ -420,6 +831,9 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version {v}")
             }
+            RecoveryError::BadStreamMode(m) => {
+                write!(f, "unknown snapshot stream mode {m}")
+            }
             RecoveryError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
@@ -428,6 +842,9 @@ impl std::fmt::Display for RecoveryError {
                 write!(f, "snapshot log has {n} trailing bytes")
             }
             RecoveryError::Table(e) => write!(f, "snapshot obfuscation table: {e}"),
+            RecoveryError::BadPoolRef { user } => {
+                write!(f, "user {user} references a missing snapshot pool entry")
+            }
             RecoveryError::InvalidPosterior { user } => {
                 write!(f, "invalid checkpointed posterior table for user {user}")
             }
@@ -454,21 +871,74 @@ mod tests {
     use super::*;
 
     fn snapshot() -> DeviceSnapshot {
-        let mut table = ObfuscationTable::new(200.0);
-        table.insert(Point::new(10.0, 20.0), vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        let set: Arc<[Point]> = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)].into();
         DeviceSnapshot {
             rng_state: [1, 2, 3, 4],
             op_counter: 99,
+            streams: StreamMode::Device,
+            sets: vec![set],
+            cdfs: vec![vec![0.5, 1.0]],
             users: vec![UserRecord {
                 user: UserId::new(7),
                 windows_closed: 2,
+                rng_words: [0; 4],
                 buffer: vec![Point::new(5.0, 6.0)],
                 profile: vec![ProfileEntry { location: Point::new(10.0, 20.0), frequency: 30 }],
                 top_set: vec![ProfileEntry { location: Point::new(10.0, 20.0), frequency: 30 }],
-                table_image: table.encode().to_vec(),
-                tables: vec![(Point::new(10.0, 20.0), vec![0.5, 1.0])],
+                table_radius: 200.0,
+                table: vec![(Point::new(10.0, 20.0), 0)],
+                cache: vec![(Point::new(10.0, 20.0), 0)],
             }],
         }
+    }
+
+    /// Hand-writes the snapshot in the original v1 layout (embedded
+    /// table image + private CDFs per user) — the compatibility fixture.
+    fn encode_v1(snap: &DeviceSnapshot) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION_V1);
+        for word in snap.rng_state {
+            buf.put_u64(word);
+        }
+        buf.put_u64(snap.op_counter);
+        buf.put_u32(snap.users.len() as u32);
+        for record in &snap.users {
+            buf.put_u32(record.user.raw());
+            buf.put_u64(record.windows_closed);
+            put_points(&mut buf, &record.buffer);
+            put_entries(&mut buf, &record.profile);
+            put_entries(&mut buf, &record.top_set);
+            let mut table = ObfuscationTable::new(record.table_radius);
+            for &(top, idx) in &record.table {
+                table.insert_shared(top, Arc::clone(&snap.sets[idx as usize]));
+            }
+            let image = table.encode();
+            buf.put_u32(image.len() as u32);
+            buf.put_slice(&image);
+            buf.put_u32(record.cache.len() as u32);
+            for &(top, idx) in &record.cache {
+                buf.put_f64(top.x);
+                buf.put_f64(top.y);
+                let cdf = &snap.cdfs[idx as usize];
+                buf.put_u32(cdf.len() as u32);
+                for &w in cdf {
+                    buf.put_f64(w);
+                }
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.put_u64(checksum);
+        buf.to_vec()
+    }
+
+    /// Corrupt a field, then re-stamp a valid checksum so the defect
+    /// reaches the structural check.
+    fn restamp(mut body: Vec<u8>) -> Vec<u8> {
+        let split = body.len() - 8;
+        let sum = fnv1a(&body[..split]);
+        body[split..].copy_from_slice(&sum.to_be_bytes());
+        body
     }
 
     #[test]
@@ -479,6 +949,60 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.user_count(), 1);
         assert_eq!(back.users().collect::<Vec<_>>(), vec![(UserId::new(7), 2)]);
+        assert_eq!(back.distinct_candidate_sets(), 1);
+    }
+
+    #[test]
+    fn per_user_stream_log_round_trips() {
+        let mut snap = snapshot();
+        snap.streams = StreamMode::PerUser { master: 0xfeed };
+        snap.users[0].rng_words = [9, 8, 7, 6];
+        let back = DeviceSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.streams, StreamMode::PerUser { master: 0xfeed });
+        assert_eq!(back.users[0].rng_words, [9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn v1_log_round_trips_through_the_version_dispatch() {
+        // A snapshot whose pools carry no cross-user sharing and whose
+        // stream mode is the classic device-wide generator decodes from
+        // its v1 image to the *identical* pooled representation.
+        let snap = snapshot();
+        let log = encode_v1(&snap);
+        let back = DeviceSnapshot::decode(&log).unwrap();
+        assert_eq!(back, snap);
+        // And the re-encoded v2 image round-trips again.
+        assert_eq!(DeviceSnapshot::decode(&back.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn shared_sets_are_pooled_once() {
+        // Two users sharing one candidate set and one posterior table:
+        // the pools stay at length 1 and the encoded log carries the
+        // payload once.
+        let top = Point::new(10.0, 20.0);
+        let base = snapshot();
+        let mut two = base.clone();
+        let mut second = two.users[0].clone();
+        second.user = UserId::new(8);
+        two.users.push(second);
+        assert_eq!(two.distinct_candidate_sets(), 1);
+        let solo_extra = {
+            let mut solo = base.clone();
+            solo.sets.push(vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)].into());
+            solo.cdfs.push(vec![0.5, 1.0]);
+            let mut second = solo.users[0].clone();
+            second.user = UserId::new(8);
+            second.table = vec![(top, 1)];
+            second.cache = vec![(top, 1)];
+            solo.users.push(second);
+            solo.encode().len()
+        };
+        // The shared encoding saves exactly the duplicated payload.
+        assert!(two.encode().len() < solo_extra, "pooling must shrink the log");
+        let back = DeviceSnapshot::decode(&two.encode()).unwrap();
+        assert_eq!(back, two);
     }
 
     #[test]
@@ -513,14 +1037,6 @@ mod tests {
 
     #[test]
     fn wrong_magic_and_version_are_caught() {
-        // Corrupt the field, then re-stamp a valid checksum so the defect
-        // reaches the structural check.
-        let restamp = |mut body: Vec<u8>| {
-            let split = body.len() - 8;
-            let sum = fnv1a(&body[..split]);
-            body[split..].copy_from_slice(&sum.to_be_bytes());
-            body
-        };
         let log = snapshot().encode().to_vec();
         let mut bad = log.clone();
         bad[0] = 0x00;
@@ -543,6 +1059,55 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_frames_are_structural_errors() {
+        // Byte offset of the first set frame's length prefix: header is
+        // magic(4) + version(2) + mode(1) + master(8) + rng(32) + op(8)
+        // + set_count(4).
+        let frame_len_at = 4 + 2 + 1 + 8 + 32 + 8 + 4;
+        let log = snapshot().encode().to_vec();
+
+        // Frame length pointing past the end of the buffer.
+        let mut bad = log.clone();
+        bad[frame_len_at..frame_len_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            DeviceSnapshot::decode(&restamp(bad)),
+            Err(RecoveryError::Truncated)
+        ));
+
+        // Frame declared longer than its own content: the sub-reader
+        // keeps trailing bytes.
+        let mut bad = log.clone();
+        let declared = u32::from_be_bytes(bad[frame_len_at..frame_len_at + 4].try_into().unwrap());
+        bad[frame_len_at..frame_len_at + 4].copy_from_slice(&(declared + 1).to_be_bytes());
+        assert!(DeviceSnapshot::decode(&restamp(bad)).is_err());
+
+        // Unknown stream-mode discriminant.
+        let mut bad = log.clone();
+        bad[6] = 9;
+        assert!(matches!(
+            DeviceSnapshot::decode(&restamp(bad)),
+            Err(RecoveryError::BadStreamMode(9))
+        ));
+
+        // A pool reference past the pool bounds.
+        let mut snap = snapshot();
+        snap.users[0].table[0].1 = 5;
+        let bad = snap.encode().to_vec();
+        assert!(matches!(
+            DeviceSnapshot::decode(&bad),
+            Err(RecoveryError::BadPoolRef { user: 7 })
+        ));
+    }
+
+    #[test]
+    fn invalid_pooled_posterior_is_caught_at_pool_build() {
+        let mut snap = snapshot();
+        snap.cdfs[0] = vec![1.0, 0.5]; // decreasing — not a CDF
+        let err = snap.pools().expect_err("invalid CDF must not build a table");
+        assert_eq!(err, RecoveryError::InvalidPosterior { user: 7 });
+    }
+
+    #[test]
     fn redraw_counting_flags_changed_candidates() {
         let before = snapshot();
         // Identical snapshots: no re-draws.
@@ -550,16 +1115,13 @@ mod tests {
 
         // Same top, different candidates: one re-draw.
         let mut redrawn = before.clone();
-        let mut table = ObfuscationTable::new(200.0);
-        table.insert(Point::new(10.0, 20.0), vec![Point::new(9.0, 9.0), Point::new(8.0, 8.0)]);
-        redrawn.users[0].table_image = table.encode().to_vec();
+        redrawn.sets[0] = vec![Point::new(9.0, 9.0), Point::new(8.0, 8.0)].into();
         assert_eq!(candidate_redraws(&before, &redrawn).unwrap(), 1);
 
         // A fresh top released after the first snapshot is not a re-draw.
         let mut grown = before.clone();
-        let mut table = ObfuscationTable::decode(&grown.users[0].table_image).unwrap();
-        table.insert(Point::new(9_000.0, 0.0), vec![Point::new(9_001.0, 1.0)]);
-        grown.users[0].table_image = table.encode().to_vec();
+        grown.sets.push(vec![Point::new(9_001.0, 1.0)].into());
+        grown.users[0].table.push((Point::new(9_000.0, 0.0), 1));
         assert_eq!(candidate_redraws(&before, &grown).unwrap(), 0);
     }
 
@@ -572,9 +1134,11 @@ mod tests {
             RecoveryError::Truncated,
             RecoveryError::BadMagic(0xDEAD_BEEF),
             RecoveryError::UnsupportedVersion(9),
+            RecoveryError::BadStreamMode(3),
             RecoveryError::ChecksumMismatch { stored: 1, computed: 2 },
             RecoveryError::TrailingBytes(3),
             table_err.clone(),
+            RecoveryError::BadPoolRef { user: 6 },
             RecoveryError::InvalidPosterior { user: 4 },
             RecoveryError::BudgetViolation { user: 5 },
         ] {

@@ -13,7 +13,6 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::protocol::{ClientRequest, EdgeResponse, ErrorCode, FrameError};
-use crate::recovery::DeviceSnapshot;
 use crate::{EdgeDevice, SystemConfig, SystemError};
 
 /// RNG stream index reserved for the supervisor's backoff jitter, far
@@ -297,6 +296,12 @@ pub struct ServerOptions {
     /// Deterministic crash schedule, for supervision tests and the chaos
     /// harness. Empty in production.
     pub fault_plan: FaultPlan,
+    /// Serve from per-user RNG streams
+    /// ([`EdgeDevice::with_per_user_streams`]) instead of one device
+    /// stream. Sharded fleets ([`crate::ShardRouter`]) set this so every
+    /// user's outputs are invariant to the user→shard partition; the
+    /// classic single-device mode keeps the default `false`.
+    pub per_user_streams: bool,
     /// The telemetry hub this server publishes into: serving metrics,
     /// logical-clock spans, and the privacy-budget ledger. Defaults to a
     /// private hub; hand several servers a clone of one hub to aggregate a
@@ -313,6 +318,7 @@ impl Default for ServerOptions {
             backoff_base: 16,
             backoff_cap: 4_096,
             fault_plan: FaultPlan::none(),
+            per_user_streams: false,
             telemetry: Telemetry::new(),
         }
     }
@@ -388,7 +394,11 @@ impl ServerMetrics {
         // deterministic export.
         ServerMetrics {
             requests: registry.counter("server.requests", Deterministic),
-            restarts: registry.counter("server.restarts", Deterministic),
+            // Restarts count *caught crashes*, which land wherever the
+            // fault plan (or the real world) puts them relative to wakeup
+            // boundaries — scheduling-dependent, like the recovery
+            // restores they trigger.
+            restarts: registry.counter("server.restarts", Scheduling),
             malformed_frames: registry.counter("server.malformed_frames", Deterministic),
             dropped_clients: registry.counter("server.dropped_clients", Deterministic),
             failed_replies: registry.counter("server.failed_replies", Scheduling),
@@ -562,7 +572,11 @@ fn serve(
     options: ServerOptions,
     metrics: Arc<ServerMetrics>,
 ) -> Result<EdgeDevice, SystemError> {
-    let mut edge = EdgeDevice::new(config, seed);
+    let mut edge = if options.per_user_streams {
+        EdgeDevice::with_per_user_streams(config, seed)
+    } else {
+        EdgeDevice::new(config, seed)
+    };
     let telemetry = options.telemetry.clone();
     // Logical-clock tracer for the per-wakeup pipeline stages. The clock
     // advances one tick per decoded request — never wall time — so span
@@ -574,7 +588,7 @@ fn serve(
     // batch and decoded+restored after every caught panic. Replies go out
     // only after the checkpoint commits, so restoring it can never roll
     // back state a client has already observed.
-    let mut log: Bytes = edge.snapshot().encode();
+    let mut log: Bytes = edge.checkpoint();
     let mut backoff_rng = seeded(derive_seed(seed, SUPERVISOR_STREAM));
     let mut fault_plan = options.fault_plan.clone();
     let malformed_limit = options.malformed_limit.max(1);
@@ -702,7 +716,7 @@ fn serve(
         // the two replays the batch from the *old* checkpoint without
         // having exposed anything, so clients never observe rolled-back
         // state.
-        log = edge.snapshot().encode();
+        log = edge.checkpoint();
         metrics.checkpoints.inc();
         metrics.checkpoint_bytes.observe(log.len() as u64);
         // Telemetry drains strictly after the commit: a crash wipes any
@@ -788,8 +802,7 @@ fn restore_checkpoint(
     config: SystemConfig,
     edge: &mut EdgeDevice,
 ) -> Result<(), crate::recovery::RecoveryError> {
-    let snapshot = DeviceSnapshot::decode(log)?;
-    *edge = EdgeDevice::restore_from(config, snapshot)?;
+    *edge = EdgeDevice::restore_from_checkpoint(config, log)?;
     Ok(())
 }
 

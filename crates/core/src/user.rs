@@ -15,6 +15,7 @@ use privlocad_mechanisms::{
     SelectionCache, SelectionStrategy, UniformSelector,
 };
 use privlocad_mobility::UserId;
+use rand::rngs::StdRng;
 use rand::RngCore;
 
 use crate::{LocationManager, ObfuscationModule, PreparedSet, SelectionKind, SystemConfig};
@@ -174,14 +175,25 @@ pub(crate) struct UserState {
     /// acceleration: entries are derived from the permanent candidate
     /// sets, so the cache never changes outputs — only cost.
     pub(crate) selection: SelectionCache,
+    /// The user's private RNG stream ([`crate::StreamMode::PerUser`]
+    /// devices). `None` on classic devices, which advance one shared
+    /// generator in operation order.
+    pub(crate) stream: Option<StdRng>,
 }
 
 impl UserState {
     pub(crate) fn new(config: &SystemConfig) -> Self {
+        UserState::with_stream(config, None)
+    }
+
+    /// [`UserState::new`] with an explicit private stream (per-user
+    /// stream mode assigns one at first sight of the user).
+    pub(crate) fn with_stream(config: &SystemConfig, stream: Option<StdRng>) -> Self {
         UserState {
             manager: LocationManager::new(config.profile_theta_m(), config.eta()),
             obfuscation: ObfuscationModule::new(config.geo_ind(), config.top_match_radius_m()),
             selection: SelectionCache::new(),
+            stream,
         }
     }
 

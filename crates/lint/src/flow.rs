@@ -96,6 +96,13 @@ const SANITIZERS: &[FnPat] = &[
     // already-released candidate sets — the sanitized side of the boundary.
     pat(Some("core"), Some("UserState"), "warm_selection"),
     pat(Some("core"), Some("UserState"), "warm_selection_prepared"),
+    // The checkpoint commit is a trusted-store boundary, not a wire egress:
+    // the bytes it returns hold true window state by design (restores must
+    // be bit-identical), go only into the supervisor's in-memory log, and
+    // their sole consumers are the restore paths (DESIGN.md §12). The one
+    // true-state serialization inside it carries its own documented inline
+    // allow; callers holding the opaque log are on the sanitized side.
+    pat(Some("core"), Some("EdgeDevice"), "checkpoint"),
 ];
 
 /// Serialization points where data leaves the trusted edge runtime.

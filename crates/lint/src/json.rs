@@ -296,6 +296,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
     if runs.is_empty() {
         return Err("`runs` is empty".to_owned());
     }
+    let mut last_scale_users: Option<f64> = None;
     for (i, run) in runs.iter().enumerate() {
         let name = run
             .get("name")
@@ -304,6 +305,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
         run.get("wall_ms")
             .and_then(Json::as_num)
             .ok_or(format!("runs[{i}] missing numeric key `wall_ms`"))?;
+        validate_scale_row(i, name, run, &mut last_scale_users)?;
         validate_serve_row(i, name, run)?;
         validate_chaos_row(i, name, run)?;
         validate_microbench_row(i, name, run)?;
@@ -390,7 +392,9 @@ fn validate_telemetry_section(telemetry: &Json) -> Result<(), String> {
 /// so throughput numbers are never reported without the batch shape and
 /// parallelism that produced them.
 fn validate_serve_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
-    let is_serve = name == "serve" || name.starts_with("serve/");
+    // Capacity rows (`serve/scale/...`) carry a different record shape and
+    // are checked by `validate_scale_row` instead of the serving triple.
+    let is_serve = (name == "serve" || name.starts_with("serve/")) && !is_scale_row(name);
     let has_rps = run.get("requests_per_sec").is_some();
     if !is_serve && !has_rps {
         return Ok(());
@@ -412,6 +416,90 @@ fn validate_serve_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
             return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
         }
     }
+    Ok(())
+}
+
+fn is_scale_row(name: &str) -> bool {
+    name == "serve/scale" || name.starts_with("serve/scale/")
+}
+
+/// Validates the fleet-capacity rows appended by the `serve` driver's scale
+/// stage: any run named `serve/scale/...` — and, symmetrically, any run that
+/// claims a `bytes_per_user` figure — must carry the full capacity record
+/// (integral `users` ≥ 1, integral `shards` ≥ 1, finite `bytes_per_user` > 0,
+/// finite `checkpoint_encode_ms` / `recovery_ms` / `per_shard_recovery_ms`
+/// ≥ 0, and a non-empty `digest`). Two cross-field invariants are enforced:
+/// the worst single shard cannot have taken longer than all shards together
+/// (`per_shard_recovery_ms` ≤ `recovery_ms` — the sum of non-negative floats
+/// is never below its largest term, so the comparison is exact), and fleet
+/// sizes must be strictly increasing in file order, so the scale table always
+/// reads as one sweep and a rerun can't interleave stale rows with fresh
+/// ones. Wall-clock *values* are deliberately not gated — CI machines vary —
+/// only the record's shape and its internal consistency.
+fn validate_scale_row(
+    i: usize,
+    name: &str,
+    run: &Json,
+    last_users: &mut Option<f64>,
+) -> Result<(), String> {
+    let has_bpu = run.get("bytes_per_user").is_some();
+    if !is_scale_row(name) && !has_bpu {
+        return Ok(());
+    }
+    for key in ["users", "shards"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 1.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
+        }
+    }
+    let bpu = run
+        .get("bytes_per_user")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `bytes_per_user`"))?;
+    if !bpu.is_finite() || bpu <= 0.0 {
+        return Err(format!("runs[{i}] (`{name}`) has non-positive `bytes_per_user` {bpu}"));
+    }
+    let mut timings = [0.0; 3];
+    for (slot, key) in
+        timings.iter_mut().zip(["checkpoint_encode_ms", "recovery_ms", "per_shard_recovery_ms"])
+    {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want finite >= 0)"));
+        }
+        *slot = v;
+    }
+    let [_, recovery, per_shard] = timings;
+    if per_shard > recovery {
+        return Err(format!(
+            "runs[{i}] (`{name}`) claims `per_shard_recovery_ms` {per_shard} > \
+             `recovery_ms` {recovery} (a single shard cannot exceed the fleet total)"
+        ));
+    }
+    let digest = run
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or(format!("runs[{i}] (`{name}`) missing string key `digest`"))?;
+    if digest.is_empty() {
+        return Err(format!("runs[{i}] (`{name}`) has an empty `digest`"));
+    }
+    let users = run.get("users").and_then(Json::as_num).unwrap_or(0.0);
+    if let Some(prev) = *last_users {
+        if users <= prev {
+            return Err(format!(
+                "runs[{i}] (`{name}`) has `users` {users} <= previous scale row's {prev} \
+                 (scale rows must sweep strictly increasing fleet sizes)"
+            ));
+        }
+    }
+    *last_users = Some(users);
     Ok(())
 }
 
@@ -611,6 +699,59 @@ mod tests {
         let sneaky =
             report(r#"{"name": "other", "wall_ms": 1.0, "requests_per_sec": 5.0}"#);
         assert!(validate_bench_report(&sneaky).is_err());
+    }
+
+    #[test]
+    fn scale_rows_require_the_full_capacity_record() {
+        let report = |rows: &str| {
+            format!(r#"{{"experiment": "serve", "seed": 0, "threads": 1, "runs": [{rows}]}}"#)
+        };
+        let good = report(
+            r#"{"name": "serve/scale/10000", "wall_ms": 40.0, "users": 10000, "shards": 1,
+                "bytes_per_user": 1800.5, "checkpoint_encode_ms": 2.0, "recovery_ms": 5.0,
+                "per_shard_recovery_ms": 5.0, "digest": "00f00ba900f00ba9"}"#,
+        );
+        // A capacity row is exempt from the serving triple (no requests_per_sec).
+        assert!(validate_bench_report(&good).is_ok());
+        // A scale-named row missing its capacity fields is rejected...
+        let missing = report(r#"{"name": "serve/scale/16", "wall_ms": 1.0}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("users"));
+        // ...as are nonsense values.
+        let base = |patch: &str| {
+            report(&format!(
+                r#"{{"name": "serve/scale/16", "wall_ms": 1.0, "users": 16, "shards": 1,
+                    "bytes_per_user": 9.0, "checkpoint_encode_ms": 1.0, "recovery_ms": 2.0,
+                    "per_shard_recovery_ms": 2.0, "digest": "ab", {patch}}}"#
+            ))
+        };
+        assert!(validate_bench_report(&base(r#""users": 0"#)).unwrap_err().contains("users"));
+        assert!(validate_bench_report(&base(r#""shards": 1.5"#)).unwrap_err().contains("shards"));
+        assert!(validate_bench_report(&base(r#""bytes_per_user": 0"#))
+            .unwrap_err()
+            .contains("bytes_per_user"));
+        assert!(validate_bench_report(&base(r#""recovery_ms": -1"#))
+            .unwrap_err()
+            .contains("recovery_ms"));
+        assert!(validate_bench_report(&base(r#""digest": """#)).unwrap_err().contains("digest"));
+        // The worst shard cannot have taken longer than the whole fleet.
+        let impossible = validate_bench_report(&base(r#""per_shard_recovery_ms": 3.0"#));
+        assert!(impossible.unwrap_err().contains("cannot exceed the fleet total"));
+        // Fleet sizes must sweep strictly upward in file order.
+        let shrinking = report(&format!(
+            "{row10k}, {row16}",
+            row10k = r#"{"name": "serve/scale/10000", "wall_ms": 40.0, "users": 10000,
+                "shards": 1, "bytes_per_user": 1800.5, "checkpoint_encode_ms": 2.0,
+                "recovery_ms": 5.0, "per_shard_recovery_ms": 5.0, "digest": "aa"}"#,
+            row16 = r#"{"name": "serve/scale/16", "wall_ms": 1.0, "users": 16, "shards": 1,
+                "bytes_per_user": 9.0, "checkpoint_encode_ms": 1.0, "recovery_ms": 2.0,
+                "per_shard_recovery_ms": 2.0, "digest": "ab"}"#,
+        ));
+        assert!(validate_bench_report(&shrinking)
+            .unwrap_err()
+            .contains("strictly increasing fleet sizes"));
+        // Any row claiming bytes_per_user needs the record, scale-named or not.
+        let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "bytes_per_user": 9.0}"#);
+        assert!(validate_bench_report(&sneaky).unwrap_err().contains("users"));
     }
 
     #[test]

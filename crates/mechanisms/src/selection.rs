@@ -393,6 +393,13 @@ impl SelectionCache {
         self.entries.iter().map(|(top, table)| (*top, &**table))
     }
 
+    /// Iterates the entries with their shared table handles — checkpoint
+    /// capture and footprint accounting dedup by `Arc` identity so a
+    /// table shared across users is serialized (and counted) once.
+    pub fn shared_entries(&self) -> impl Iterator<Item = (Point, &Arc<PosteriorTable>)> {
+        self.entries.iter().map(|(top, table)| (*top, table))
+    }
+
     /// Installs a restored table for `top`, replacing any existing entry
     /// with that exact key — the checkpoint-restore counterpart of
     /// [`SelectionCache::table_for`].

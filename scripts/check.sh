@@ -44,13 +44,20 @@ echo "==> bench serve (smoke, reduced sizes)"
 # these tiny sizes) is not meaningful here. The real numbers live in
 # BENCH_repro.json, regenerated at full size on a quiet host.
 ./target/release/serve \
-    --users 8 --requests 1024 --batch 16 --threads 2 --seed 1 \
+    --users 10000 --requests 1024 --batch 16 --threads 2 --seed 1 \
     --bench-json "$smoke_dir/BENCH_serve.json" >"$smoke_dir/serve.out"
 ./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_serve.json"
 grep -q 'serve/legacy_single' "$smoke_dir/BENCH_serve.json"
 grep -q 'serve/batched_cached/16' "$smoke_dir/BENCH_serve.json"
 grep -q 'serve/shared_batched/16x2' "$smoke_dir/BENCH_serve.json"
 grep -q 'requests_per_sec' "$smoke_dir/BENCH_serve.json"
+# Scale-stage smoke at one 10k-user shard: row shape and the seed-pure
+# output digest only — encode/recovery wall-clock stays ungated here for
+# the same single-core reason (the lint schema still checks the row's
+# internal consistency above).
+grep -q 'serve/scale/10000' "$smoke_dir/BENCH_serve.json"
+grep -q '"bytes_per_user"' "$smoke_dir/BENCH_serve.json"
+grep -q '"digest"' "$smoke_dir/BENCH_serve.json"
 grep -q 'batched+cached vs legacy single-request path' "$smoke_dir/serve.out"
 # Telemetry smoke: the serving hub lands in the log (validated above by
 # --bench-json) and the cache-hit line prints.
