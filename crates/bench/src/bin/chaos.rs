@@ -78,6 +78,11 @@ fn row_to_json(row: &ChaosRow) -> Json {
     obj.insert("requests_survived".to_owned(), Json::Num(row.requests_survived as f64));
     obj.insert("restarts".to_owned(), Json::Num(row.restarts as f64));
     obj.insert("recovery_ns".to_owned(), Json::Num(row.recovery_ns));
+    obj.insert("duplicates_injected".to_owned(), Json::Num(row.duplicates_injected as f64));
+    obj.insert("duplicates_suppressed".to_owned(), Json::Num(row.duplicates_suppressed as f64));
+    obj.insert("breaker_transitions".to_owned(), Json::Num(row.breaker_transitions as f64));
+    obj.insert("degraded_serves".to_owned(), Json::Num(row.degraded_serves as f64));
+    obj.insert("deadline_misses".to_owned(), Json::Num(row.deadline_misses as f64));
     obj.insert("threads".to_owned(), Json::Num(row.threads as f64));
     Json::Obj(obj)
 }
@@ -175,6 +180,11 @@ mod tests {
             requests_survived: 232,
             restarts: 3,
             recovery_ns: 18_400.0,
+            duplicates_injected: 6,
+            duplicates_suppressed: 6,
+            breaker_transitions: 5,
+            degraded_serves: 4,
+            deadline_misses: 1,
             threads: 2,
             telemetry,
         }

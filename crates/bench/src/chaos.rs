@@ -34,8 +34,9 @@ use std::time::Instant;
 
 use privlocad::protocol::{ClientRequest, EdgeResponse};
 use privlocad::{
-    candidate_redraws, EdgeDevice, EdgeHandle, EdgeServer, FaultPlan,
-    RetryPolicy, ServerOptions, SystemConfig, TransportError,
+    candidate_redraws, BreakerConfig, BreakerEvent, ChannelFaultPlan, EdgeDevice, EdgeHandle,
+    EdgeServer, FabricError, FabricOptions, FabricRouter, FaultPlan, LaneOutage, RetryPolicy,
+    ServedLocation, ServerOptions, SystemConfig, TransportError,
 };
 use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
@@ -96,6 +97,21 @@ pub struct ChaosRow {
     /// Fastest observed decode+restore of the final recovery checkpoint,
     /// in nanoseconds (0 for the flood scenario, which never crashes).
     pub recovery_ns: f64,
+    /// Stale duplicate deliveries the fabric injected on the wire (0 for
+    /// the channel-level scenarios, which have no faulty link).
+    pub duplicates_injected: u64,
+    /// Duplicate deliveries the shards' dedup windows replayed from
+    /// cache instead of re-applying — exactly-once demands this equals
+    /// `duplicates_injected`.
+    pub duplicates_suppressed: u64,
+    /// Circuit-breaker transitions (open / probe / close / reopen)
+    /// recorded by the fabric's deterministic trace.
+    pub breaker_transitions: u64,
+    /// Reads answered from the bounded stale-cache of last *released*
+    /// obfuscated locations while a breaker was open.
+    pub degraded_serves: u64,
+    /// Calls that exhausted their transmission budget on a dead wire.
+    pub deadline_misses: u64,
     /// Shard servers the fleet was partitioned across.
     pub threads: usize,
     /// The scenario's telemetry hub, shared by its faulty shard servers
@@ -118,7 +134,8 @@ impl Outcome {
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "chaos: seeded faults over the supervised serving path",
-            &["scenario", "shards", "faults", "survived", "restarts", "recovery µs"],
+            &["scenario", "shards", "faults", "survived", "restarts", "dups", "degraded",
+              "recovery µs"],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -127,6 +144,8 @@ impl Outcome {
                 row.faults_injected.to_string(),
                 row.requests_survived.to_string(),
                 row.restarts.to_string(),
+                format!("{}/{}", row.duplicates_suppressed, row.duplicates_injected),
+                row.degraded_serves.to_string(),
                 format!("{:.1}", row.recovery_ns * 1e-3),
             ]);
         }
@@ -433,6 +452,11 @@ fn replayed_scenario(config: &Config, mix: FaultMix, shards: usize) -> ChaosRow 
         requests_survived: reports.iter().map(|r| r.survived).sum(),
         restarts,
         recovery_ns: reports.iter().map(|r| r.recovery_ns).fold(f64::INFINITY, f64::min),
+        duplicates_injected: 0,
+        duplicates_suppressed: 0,
+        breaker_transitions: 0,
+        degraded_serves: 0,
+        deadline_misses: 0,
         threads: shards,
         telemetry: hub,
     }
@@ -455,7 +479,8 @@ fn flood_scenario(config: &Config, shards: usize) -> ChaosRow {
 
     let clients = (shards * 2).max(2);
     let per_client = (config.requests.max(1)) * 4;
-    let policy = RetryPolicy { max_attempts: 5, backoff_base: 8, backoff_cap: 256 };
+    let policy =
+        RetryPolicy { max_attempts: 5, backoff_base: 8, backoff_cap: 256, disconnect_attempts: 1 };
     let (mut served, mut shed) = (0u64, 0u64);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..clients)
@@ -506,12 +531,343 @@ fn flood_scenario(config: &Config, shards: usize) -> ChaosRow {
         requests_survived: served,
         restarts: health.restarts,
         recovery_ns: 0.0,
+        duplicates_injected: 0,
+        duplicates_suppressed: 0,
+        breaker_transitions: 0,
+        degraded_serves: 0,
+        deadline_misses: 0,
         threads: shards,
         telemetry: hub,
     }
 }
 
-/// Runs every fault family at shard counts 1 and `config.threads`.
+/// One fabric fleet run's partition-invariant witnesses.
+struct FabricRun {
+    /// Every served released location, in request order.
+    reports: Vec<Point>,
+    /// Sorted `(user, top)` pairs with a released candidate set in the
+    /// final shard checkpoints.
+    released: Vec<(u64, TopKey)>,
+    stats: privlocad::FabricStats,
+    restarts: u64,
+    suppressed: u64,
+    recovery_ns: f64,
+    hub: Telemetry,
+}
+
+/// Drives the full valid workload through a [`FabricRouter`] over a
+/// (possibly faulty) link, with seeded worker kills inside the
+/// supervisor's restart budget when `kills` is set.
+fn fabric_fleet(config: &Config, shards: usize, plan: ChannelFaultPlan, kills: bool) -> FabricRun {
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let hub = Telemetry::new();
+    let ops_per_user = (config.checkins + 1 + config.requests) as u64;
+    let kill_plans: Vec<FaultPlan> = if kills {
+        (0..shards)
+            .map(|s| {
+                // Round-robin partition: shard `s` serves users ≡ s (mod
+                // shards). Stripe the kill ordinals across the shard's own
+                // request clock so they are distinct and all fire.
+                let ops = (s..config.users).step_by(shards).count() as u64 * ops_per_user;
+                let budget = (config.kills as u64).min(ops) as usize;
+                if budget == 0 {
+                    return FaultPlan::none();
+                }
+                let stripe = ops / budget as u64;
+                let mut rng = seeded(derive_seed(derive_seed(config.seed, 0xfab1), s as u64));
+                FaultPlan::kill_at(
+                    (0..budget as u64).map(|k| k * stripe + rng.gen_range(0..stripe)),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let expected_kills: u64 = kill_plans.iter().map(|p| p.remaining() as u64).sum();
+    let fabric = FabricRouter::spawn(sys, derive_seed(config.seed, 0xfab0), FabricOptions {
+        shards,
+        fault_plan: plan,
+        kill_plans,
+        server: ServerOptions {
+            telemetry: hub.clone(),
+            max_restarts: (config.kills as u32).max(8),
+            backoff_base: 1,
+            backoff_cap: 1,
+            ..ServerOptions::default()
+        },
+        ..FabricOptions::default()
+    });
+    for t in 0..config.checkins {
+        for u in 0..config.users {
+            fabric
+                .check_in(UserId::new(u as u32), home_of(u), t as i64)
+                .expect("check-in must survive the faulty link");
+        }
+    }
+    for u in 0..config.users {
+        fabric.finalize_window(UserId::new(u as u32)).expect("window close must survive");
+    }
+    let mut reports = Vec::with_capacity(config.users * config.requests);
+    for _ in 0..config.requests {
+        for u in 0..config.users {
+            match fabric
+                .request_location(UserId::new(u as u32), home_of(u))
+                .expect("ad request must survive")
+            {
+                ServedLocation::Fresh(p) => reports.push(p),
+                ServedLocation::Degraded(_) => panic!("no breaker may open under masked faults"),
+            }
+        }
+    }
+    // Shutdown before reading the totals: delayed duplicate copies flush
+    // there and the injected/suppressed accounting must cover them.
+    fabric.shutdown().expect("fabric must shut down cleanly");
+    let stats = fabric.stats();
+    let devices = fabric.join().expect("every shard survives its schedule");
+    let metrics = hub.registry().snapshot();
+    let restarts = metrics.counter("server.restarts").unwrap_or(0);
+    assert_eq!(restarts, expected_kills, "every injected kill is one supervised restart");
+
+    let mut released = Vec::new();
+    let mut recovery_ns = f64::INFINITY;
+    for device in &devices {
+        let snapshot = device.snapshot();
+        for (user, top) in snapshot.released_sets().expect("final checkpoint decodes") {
+            released.push((u64::from(user.raw()), top_key(top.x, top.y)));
+        }
+    }
+    // Time the recovery path on the first shard's final checkpoint, same
+    // as the channel-level scenarios.
+    if let Some(device) = devices.first() {
+        let encoded = device.snapshot().encode();
+        for _ in 0..8 {
+            let start = Instant::now();
+            let restored =
+                EdgeDevice::restore_from_checkpoint(sys, &encoded).expect("checkpoint restores");
+            let elapsed = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(&restored);
+            recovery_ns = recovery_ns.min(elapsed.max(1.0));
+        }
+    }
+    released.sort();
+    FabricRun {
+        reports,
+        released,
+        stats,
+        restarts,
+        suppressed: metrics.counter("server.duplicates_suppressed").unwrap_or(0),
+        recovery_ns,
+        hub,
+    }
+}
+
+/// The wire profile for the fabric survival sweep: drops, delayed
+/// duplicates, and corruption together, every family masked.
+fn fabric_plan(seed: u64) -> ChannelFaultPlan {
+    ChannelFaultPlan {
+        seed: derive_seed(seed, 0xfab2),
+        drop_per_mille: 100,
+        duplicate_per_mille: 200,
+        duplicate_delay: 3,
+        corrupt_per_mille: 80,
+        outages: Vec::new(),
+    }
+}
+
+/// One `chaos/fabric/{shards}` row: the faulty fleet at `shards` must
+/// reproduce the fault-free single-shard reference bit-for-bit — same
+/// served locations in the same order, same final released sets — while
+/// every duplicate is suppressed and the ledger audits exactly-once.
+fn fabric_scenario(config: &Config, clean: &FabricRun, shards: usize) -> ChaosRow {
+    let start = Instant::now();
+    let faulty = fabric_fleet(config, shards, fabric_plan(config.seed), true);
+    assert!(faulty.stats.drops_injected > 0, "the plan must drop frames");
+    assert!(faulty.stats.corruptions_injected > 0, "the plan must corrupt frames");
+    assert!(faulty.stats.duplicates_injected > 0, "the plan must duplicate frames");
+    assert_eq!(
+        faulty.suppressed, faulty.stats.duplicates_injected,
+        "every duplicate delivery must be replayed from the dedup window"
+    );
+    assert_eq!(faulty.stats.breaker_transitions, 0, "masked faults never trip a breaker");
+    assert_eq!(faulty.stats.deadline_misses, 0, "retransmission must stay inside the budget");
+    assert_eq!(
+        faulty.reports, clean.reports,
+        "served locations diverged from the fault-free single-shard run"
+    );
+    assert_eq!(
+        faulty.released, clean.released,
+        "released candidate sets diverged from the fault-free run"
+    );
+    faulty
+        .hub
+        .ledger()
+        .assert_no_double_spend(faulty.released.clone())
+        .expect("duplicates + restarts double-spent (or failed to ledger) a privacy budget");
+
+    let ops = config.users as u64 * (config.checkins + 1 + config.requests) as u64;
+    ChaosRow {
+        name: format!("chaos/fabric/{shards}"),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        faults_injected: faulty.stats.drops_injected
+            + faulty.stats.corruptions_injected
+            + faulty.stats.duplicates_injected
+            + faulty.restarts,
+        requests_survived: ops,
+        restarts: faulty.restarts,
+        recovery_ns: faulty.recovery_ns,
+        duplicates_injected: faulty.stats.duplicates_injected,
+        duplicates_suppressed: faulty.suppressed,
+        breaker_transitions: 0,
+        degraded_serves: 0,
+        deadline_misses: 0,
+        threads: shards,
+        telemetry: faulty.hub,
+    }
+}
+
+/// One `chaos/degraded/{shards}` row: a scheduled outage on user 0's
+/// lane walks the breaker through open → probe → reopen → close while
+/// reads are served from the stale cache of *released* obfuscated
+/// locations and writes fail closed; a second, permanently dead wire
+/// exercises the transmission deadline.
+fn degraded_scenario(config: &Config, shards: usize) -> ChaosRow {
+    let start = Instant::now();
+    let sys = SystemConfig::builder().build().expect("default config is valid");
+    let hub = Telemetry::new();
+    let seed = derive_seed(config.seed, 0xdeca1);
+    // Lane-0 ordinals: `checkins` check-ins, the window close, then one
+    // released request — the outage starts right after it.
+    let outage_from = config.checkins as u64 + 2;
+    let fabric = FabricRouter::spawn(sys, seed, FabricOptions {
+        shards,
+        fault_plan: ChannelFaultPlan {
+            seed,
+            outages: vec![LaneOutage { lane: 0, from: outage_from, calls: 3 }],
+            ..ChannelFaultPlan::none()
+        },
+        breaker: BreakerConfig { failure_threshold: 2, cooldown: 4, max_cooldown: 16 },
+        server: ServerOptions { telemetry: hub.clone(), ..ServerOptions::default() },
+        ..FabricOptions::default()
+    });
+    for t in 0..config.checkins {
+        for u in 0..config.users {
+            fabric.check_in(UserId::new(u as u32), home_of(u), t as i64).expect("priming check-in");
+        }
+    }
+    for u in 0..config.users {
+        fabric.finalize_window(UserId::new(u as u32)).expect("priming window close");
+    }
+    let user = UserId::new(0);
+    let mut fresh = Vec::new();
+    match fabric.request_location(user, home_of(0)).expect("pre-outage release") {
+        ServedLocation::Fresh(p) => fresh.push(p),
+        ServedLocation::Degraded(_) => panic!("the breaker cannot be open yet"),
+    }
+    // The burst rides lane 0 only, so the breaker walk is identical at
+    // every shard count. Writes while open must fail closed.
+    let (mut degraded, mut write_rejections, mut outage_hits) = (0u64, 0u64, 0u64);
+    for i in 0..24 {
+        match fabric.request_location(user, home_of(0)) {
+            Ok(ServedLocation::Fresh(p)) => fresh.push(p),
+            Ok(ServedLocation::Degraded(p)) => {
+                assert!(
+                    fresh.contains(&p),
+                    "a degraded serve leaked a point that was never released"
+                );
+                degraded += 1;
+                if degraded == 1 {
+                    // First observed open-breaker serve: a write now must
+                    // be rejected, never half-applied against a shaky shard.
+                    match fabric.check_in(user, home_of(0), i) {
+                        Err(FabricError::Degraded { .. }) => write_rejections += 1,
+                        other => panic!("a write while open must fail closed, got {other:?}"),
+                    }
+                }
+            }
+            Err(FabricError::Unreachable { .. }) => outage_hits += 1,
+            Err(FabricError::Degraded { .. }) => {}
+            Err(other) => panic!("unexpected burst outcome: {other}"),
+        }
+    }
+    let stats = fabric.stats();
+    let trace = fabric.trace();
+    assert!(degraded > 0, "the open breaker must serve degraded reads");
+    assert!(write_rejections > 0, "writes while open must be rejected");
+    // `failure_threshold` calls open the breaker, and the first half-open
+    // probe still lands inside the three-call outage before it passes.
+    assert_eq!(outage_hits, 3, "threshold failures plus the failed probe");
+    assert!(
+        trace.iter().any(|e| matches!(e, BreakerEvent::Opened { .. })),
+        "the outage must open the breaker: {trace:?}"
+    );
+    assert_eq!(
+        trace.last(),
+        Some(&BreakerEvent::Closed { shard: 0 }),
+        "the breaker must close again once the outage passes: {trace:?}"
+    );
+    assert_eq!(stats.degraded_serves, degraded);
+    fabric.shutdown().expect("fabric must shut down cleanly");
+    let devices = fabric.join().expect("every shard survives");
+    let mut released = Vec::new();
+    for device in &devices {
+        let snapshot = device.snapshot();
+        for (user, top) in snapshot.released_sets().expect("final checkpoint decodes") {
+            released.push((u64::from(user.raw()), top_key(top.x, top.y)));
+        }
+    }
+    hub.ledger()
+        .assert_no_double_spend(released)
+        .expect("degraded serving double-spent (or failed to ledger) a privacy budget");
+
+    // A permanently dead wire with a tiny transmission budget: calls must
+    // fail with a structured deadline, never hang or retry forever.
+    let dead_seed = derive_seed(seed, 0xdead);
+    let dead = FabricRouter::spawn(sys, dead_seed, FabricOptions {
+        shards: 1,
+        fault_plan: ChannelFaultPlan {
+            seed: dead_seed,
+            drop_per_mille: 1_000,
+            ..ChannelFaultPlan::none()
+        },
+        breaker: BreakerConfig { failure_threshold: 1, cooldown: 2, max_cooldown: 4 },
+        call_budget: 2,
+        ..FabricOptions::default()
+    });
+    let mut deadline_misses = 0u64;
+    for t in 0..3 {
+        match dead.check_in(user, home_of(0), t) {
+            Err(FabricError::DeadlineExceeded { .. }) => deadline_misses += 1,
+            Err(FabricError::Degraded { .. }) => {}
+            other => panic!("a dead wire must miss its deadline, got {other:?}"),
+        }
+    }
+    let dead_stats = dead.stats();
+    assert!(deadline_misses > 0, "the dead wire must burn its transmission budget");
+    assert_eq!(dead_stats.deadline_misses, deadline_misses);
+    dead.shutdown().expect("dead-wire fabric still shuts down");
+    dead.join().expect("dead-wire shard survives");
+
+    let ops = config.users as u64 * (config.checkins + 1) as u64 + 1 + fresh.len() as u64;
+    ChaosRow {
+        name: format!("chaos/degraded/{shards}"),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        faults_injected: stats.outage_failures + dead_stats.drops_injected,
+        requests_survived: ops,
+        restarts: 0,
+        recovery_ns: 0.0,
+        duplicates_injected: 0,
+        duplicates_suppressed: 0,
+        breaker_transitions: stats.breaker_transitions + dead_stats.breaker_transitions,
+        degraded_serves: stats.degraded_serves,
+        deadline_misses,
+        threads: shards,
+        telemetry: hub,
+    }
+}
+
+/// Runs every channel-level fault family at shard counts 1 and
+/// `config.threads`, then the fabric survival sweep at {1, 4, 16}
+/// shards against one fault-free single-shard reference.
 pub fn run(config: &Config) -> Outcome {
     quiet_injected_faults();
     let mut shard_counts = vec![1, config.threads.max(1)];
@@ -522,6 +878,15 @@ pub fn run(config: &Config) -> Outcome {
             rows.push(replayed_scenario(config, mix, shards));
         }
         rows.push(flood_scenario(config, shards));
+        rows.push(degraded_scenario(config, shards));
+    }
+    // The survival contract is cross-partition: one fault-free reference,
+    // three faulty fleet widths, all bit-identical.
+    let clean = fabric_fleet(config, 1, ChannelFaultPlan::none(), false);
+    assert_eq!(clean.stats.duplicates_injected, 0);
+    assert_eq!(clean.restarts, 0);
+    for shards in [1, 4, 16] {
+        rows.push(fabric_scenario(config, &clean, shards));
     }
     Outcome { rows }
 }
@@ -550,23 +915,53 @@ mod tests {
                 "chaos/worker_kill/1",
                 "chaos/mid_window_restart/1",
                 "chaos/flood/1",
+                "chaos/degraded/1",
                 "chaos/corruption/2",
                 "chaos/worker_kill/2",
                 "chaos/mid_window_restart/2",
                 "chaos/flood/2",
+                "chaos/degraded/2",
+                "chaos/fabric/1",
+                "chaos/fabric/4",
+                "chaos/fabric/16",
             ]
         );
         let ops = (config.users * (config.checkins + 1 + config.requests)) as u64;
         for row in &out.rows {
             assert!(row.wall_ms > 0.0, "{}", row.name);
+            assert!(row.duplicates_suppressed <= row.duplicates_injected, "{}", row.name);
+            let metrics = row.telemetry.registry().snapshot();
             if row.name.starts_with("chaos/flood") {
                 assert_eq!(row.restarts, 0, "{}", row.name);
+            } else if row.name.starts_with("chaos/degraded") {
+                // The outage walks the breaker and serves stale reads;
+                // the dead wire misses its transmission deadline.
+                assert_eq!(row.restarts, 0, "{}", row.name);
+                assert!(row.degraded_serves > 0, "{}", row.name);
+                assert!(row.breaker_transitions > 0, "{}", row.name);
+                assert!(row.deadline_misses > 0, "{}", row.name);
+                assert!(row.faults_injected > 0, "{}", row.name);
+            } else if row.name.starts_with("chaos/fabric") {
+                // The faulty-link sweep survives the full stream with
+                // every duplicate suppressed and every kill restarted.
+                assert_eq!(row.requests_survived, ops, "{}", row.name);
+                assert!(row.duplicates_injected > 0, "{}", row.name);
+                assert_eq!(row.duplicates_suppressed, row.duplicates_injected, "{}", row.name);
+                assert!(row.restarts > 0, "{}", row.name);
+                assert_eq!(row.breaker_transitions, 0, "{}", row.name);
+                assert!(row.recovery_ns > 0.0, "{}", row.name);
             } else {
                 // Replayable scenarios serve the full valid stream no
                 // matter how it is sharded.
                 assert_eq!(row.requests_survived, ops, "{}", row.name);
                 assert!(row.faults_injected > 0, "{}", row.name);
                 assert!(row.recovery_ns > 0.0, "{}", row.name);
+                assert_eq!(
+                    metrics.counter("server.requests"),
+                    Some(ops),
+                    "{}: hub request counter",
+                    row.name
+                );
             }
             if row.name.starts_with("chaos/worker_kill")
                 || row.name.starts_with("chaos/mid_window_restart")
@@ -574,16 +969,9 @@ mod tests {
                 assert!(row.restarts > 0, "{}", row.name);
                 assert_eq!(row.restarts, row.faults_injected, "{}", row.name);
             }
-            // Every scenario carries an audited hub whose serving counters
-            // agree with the row.
-            let metrics = row.telemetry.registry().snapshot();
+            // Every scenario carries an audited hub whose counters agree
+            // with the row.
             if !row.name.starts_with("chaos/flood") {
-                assert_eq!(
-                    metrics.counter("server.requests"),
-                    Some(ops),
-                    "{}: hub request counter",
-                    row.name
-                );
                 assert_eq!(
                     row.telemetry.ledger().totals().candidate_sets,
                     config.users as u64,
@@ -591,9 +979,14 @@ mod tests {
                     row.name
                 );
             }
-            assert_eq!(metrics.counter("server.restarts"), Some(row.restarts), "{}", row.name);
+            assert_eq!(
+                metrics.counter("server.restarts").unwrap_or(0),
+                row.restarts,
+                "{}",
+                row.name
+            );
         }
-        assert_eq!(out.table().len(), 8);
+        assert_eq!(out.table().len(), 13);
     }
 
     #[test]

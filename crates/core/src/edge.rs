@@ -404,10 +404,28 @@ impl EdgeDevice {
     /// [`crate::recovery`] for why re-drawing is a privacy violation).
     pub fn snapshot(&self) -> DeviceSnapshot {
         let mut builder = SnapshotBuilder::new();
-        for (user, state) in self.users.keys().zip(self.users.values()) {
+        for (user, state) in self.user_states() {
             builder.capture(user, state);
         }
         builder.finish(self.rng.state(), 0, self.streams)
+    }
+
+    /// One user's live serving state, for the incremental committed log
+    /// (see [`crate::recovery::CommittedLog`]).
+    pub(crate) fn user_state(&self, user: UserId) -> Option<&UserState> {
+        self.users.get(user)
+    }
+
+    /// Every user's live serving state, ascending by id — the capture
+    /// order of [`EdgeDevice::snapshot`].
+    pub(crate) fn user_states(&self) -> impl Iterator<Item = (UserId, &UserState)> {
+        self.users.keys().zip(self.users.values())
+    }
+
+    /// The device-wide generator words and stream mode — the snapshot
+    /// header fields that are not per-user state.
+    pub(crate) fn checkpoint_header(&self) -> ([u64; 4], StreamMode) {
+        (self.rng.state(), self.streams)
     }
 
     /// Encodes the current [`EdgeDevice::snapshot`] into one contiguous
@@ -418,6 +436,22 @@ impl EdgeDevice {
     pub fn checkpoint(&self) -> Bytes {
         // lint:allow(location-leak): the checkpoint must carry the true window state to restore bit-identically; it goes only into the trusted edge store and the restore paths are the only consumers (DESIGN.md §12)
         self.snapshot().encode()
+    }
+
+    /// A 64-bit FNV-1a digest of the committed checkpoint bytes — a
+    /// compact equality witness over the device's complete state (window
+    /// buffers, candidate sets, posterior tables, RNG positions). Two
+    /// devices with equal digests would resume identically; the chaos
+    /// harness compares faulty against fault-free runs with it.
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for byte in self.checkpoint().iter() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
     }
 
     /// Rebuilds a device from a checkpoint. The restored device continues

@@ -61,6 +61,7 @@ mod concurrent;
 mod config;
 mod edge;
 mod error;
+pub mod fabric;
 mod filter;
 mod fleet;
 mod management;
@@ -75,6 +76,10 @@ mod user;
 
 pub use arena::{CandidateArena, PreparedSet};
 pub use concurrent::SharedEdgeDevice;
+pub use fabric::{
+    BreakerConfig, BreakerEvent, BreakerState, ChannelFaultPlan, FabricError, FabricOptions,
+    FabricRouter, FabricStats, LaneOutage, ServedLocation, StaleCache,
+};
 pub use recovery::{candidate_redraws, DeviceSnapshot, RecoveryError, StreamMode};
 pub use shard::{ShardRouter, StateFootprint};
 pub use risk::{LocationRisk, Recommendation, RiskAssessor, RiskReport};

@@ -85,6 +85,11 @@ pub enum ErrorCode {
     /// The worker serving the request failed permanently (panicked past
     /// its restart budget).
     WorkerFailed,
+    /// A sequenced frame carried a sequence number older than the
+    /// server's dedup window: the original response can no longer be
+    /// replayed, and re-serving would double-apply the request, so it is
+    /// rejected explicitly.
+    StaleSequence,
 }
 
 impl ErrorCode {
@@ -92,6 +97,7 @@ impl ErrorCode {
         match self {
             ErrorCode::Malformed => 0x01,
             ErrorCode::WorkerFailed => 0x02,
+            ErrorCode::StaleSequence => 0x03,
         }
     }
 
@@ -99,6 +105,7 @@ impl ErrorCode {
         match byte {
             0x01 => Ok(ErrorCode::Malformed),
             0x02 => Ok(ErrorCode::WorkerFailed),
+            0x03 => Ok(ErrorCode::StaleSequence),
             other => Err(FrameError::UnknownErrorCode(other)),
         }
     }
@@ -136,6 +143,15 @@ pub enum FrameError {
     },
     /// An [`EdgeResponse::Error`] frame carries an unknown failure code.
     UnknownErrorCode(u8),
+    /// A sequenced frame's header checksum does not match its contents —
+    /// the frame was corrupted in transit and nothing in it (not even the
+    /// lane and sequence fields) can be trusted.
+    ChecksumMismatch {
+        /// The checksum the header declares.
+        declared: u32,
+        /// The checksum computed over the received bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -155,6 +171,12 @@ impl std::fmt::Display for FrameError {
             FrameError::UnknownErrorCode(c) => {
                 write!(f, "unknown error code {c:#04x} in error frame")
             }
+            FrameError::ChecksumMismatch { declared, computed } => {
+                write!(
+                    f,
+                    "sequenced frame checksum mismatch: header declares {declared:#010x}, bytes hash to {computed:#010x}"
+                )
+            }
         }
     }
 }
@@ -165,6 +187,7 @@ const TAG_CHECK_IN: u8 = 0x01;
 const TAG_REQUEST_LOCATION: u8 = 0x02;
 const TAG_FINALIZE: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_SEQUENCED: u8 = 0x05;
 const TAG_REPORTED: u8 = 0x81;
 const TAG_WINDOW_CLOSED: u8 = 0x82;
 const TAG_ACK: u8 = 0x83;
@@ -232,7 +255,115 @@ pub fn deframe(buf: &[u8]) -> Result<(&[u8], &[u8]), FrameError> {
     Ok((&buf[2..2 + declared], &buf[2 + declared..]))
 }
 
+/// The delivery header of a sequenced request frame: which per-user lane
+/// the request belongs to and its position in that lane's logical
+/// sequence. The pair identifies one *logical* request however many
+/// times the transport delivers it, which is what lets the server's
+/// dedup window give every request exactly-once effect under
+/// retransmission and duplication (see [`crate::fabric`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceHeader {
+    /// The per-user delivery lane (the raw user id).
+    pub lane: u32,
+    /// Zero-based position of this logical request in its lane.
+    pub seq: u32,
+}
+
+/// Byte length of a sequenced-frame header: tag, lane, seq, checksum.
+pub const SEQUENCED_HEADER_LEN: usize = 13;
+
+/// FNV-1a (32-bit) over the header fields and the inner frame — the
+/// transit checksum a sequenced frame carries so that *any* corruption,
+/// including of the lane/seq fields themselves, is detected before the
+/// dedup window is consulted. A corrupted header that aliased another
+/// lane's sequence number would otherwise replay the wrong cached
+/// response.
+fn sequenced_checksum(lane: u32, seq: u32, inner: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    for byte in lane
+        .to_be_bytes()
+        .iter()
+        .chain(seq.to_be_bytes().iter())
+        .chain(inner.iter())
+    {
+        hash ^= u32::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Wraps an encoded request frame in a sequenced delivery envelope:
+/// tag, big-endian lane and sequence number, an FNV-1a checksum over
+/// lane/seq/body, then the inner frame bytes.
+///
+/// # Panics
+///
+/// Panics if the wrapped frame would exceed [`MAX_FRAME_LEN`] — inner
+/// frames produced by [`ClientRequest::encode`] never do.
+pub fn encode_sequenced(lane: u32, seq: u32, request: &ClientRequest) -> Vec<u8> {
+    let inner = request.encode();
+    assert!(
+        SEQUENCED_HEADER_LEN + inner.len() <= MAX_FRAME_LEN,
+        "sequenced frame exceeds MAX_FRAME_LEN"
+    );
+    let mut buf = Vec::with_capacity(SEQUENCED_HEADER_LEN + inner.len());
+    buf.push(TAG_SEQUENCED);
+    buf.extend_from_slice(&lane.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&sequenced_checksum(lane, seq, &inner).to_be_bytes());
+    buf.extend_from_slice(&inner);
+    buf
+}
+
+/// Splits a sequenced frame into its verified [`SequenceHeader`] and the
+/// inner request frame. Returns `Ok(None)` for frames that are not
+/// sequenced (no leading [`TAG_SEQUENCED`]), so plain unsequenced frames
+/// keep working unchanged.
+///
+/// Total like every other decode path: truncated headers and checksum
+/// mismatches are rejected with a [`FrameError`], never a panic — a
+/// corrupted sequenced frame costs its sender a malformed-frame strike
+/// exactly like any other corrupted frame. The inner frame still has to
+/// pass its own strict [`ClientRequest::decode`].
+///
+/// # Errors
+///
+/// Returns [`FrameError::Truncated`] for a short header and
+/// [`FrameError::ChecksumMismatch`] when the frame was damaged in
+/// transit.
+pub fn split_sequenced(buf: &[u8]) -> Result<Option<(SequenceHeader, &[u8])>, FrameError> {
+    match buf.first() {
+        Some(&TAG_SEQUENCED) => {}
+        _ => return Ok(None),
+    }
+    need(buf, SEQUENCED_HEADER_LEN)?;
+    let lane = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    let seq = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    let declared = u32::from_be_bytes([buf[9], buf[10], buf[11], buf[12]]);
+    let inner = &buf[SEQUENCED_HEADER_LEN..];
+    let computed = sequenced_checksum(lane, seq, inner);
+    if computed != declared {
+        return Err(FrameError::ChecksumMismatch { declared, computed });
+    }
+    Ok(Some((SequenceHeader { lane, seq }, inner)))
+}
+
 impl ClientRequest {
+    /// The user this request operates on — `None` only for
+    /// [`ClientRequest::Shutdown`]. The serving loop uses this to limit
+    /// its per-batch checkpoint maintenance to the users a batch
+    /// actually touched.
+    pub fn user(&self) -> Option<UserId> {
+        match *self {
+            ClientRequest::CheckIn { user, .. }
+            | ClientRequest::RequestLocation { user, .. }
+            | ClientRequest::FinalizeWindow { user } => Some(user),
+            ClientRequest::Shutdown => None,
+        }
+    }
+
     /// Encodes the request into its wire frame.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(29);
@@ -428,6 +559,7 @@ mod tests {
             EdgeResponse::Ack,
             EdgeResponse::Error { code: ErrorCode::Malformed, detail: 2 },
             EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail: 9 },
+            EdgeResponse::Error { code: ErrorCode::StaleSequence, detail: 41 },
         ]
     }
 
@@ -572,5 +704,68 @@ mod tests {
     #[should_panic(expected = "frame body exceeds MAX_FRAME_LEN")]
     fn frame_rejects_oversized_bodies() {
         let _ = frame(&[0u8; MAX_FRAME_LEN + 1]);
+    }
+
+    #[test]
+    fn sequenced_frames_round_trip() {
+        for (seq, request) in requests().into_iter().enumerate() {
+            let wire = encode_sequenced(7, seq as u32, &request);
+            assert!(wire.len() <= MAX_FRAME_LEN);
+            let (header, inner) = split_sequenced(&wire).unwrap().unwrap();
+            assert_eq!(header, SequenceHeader { lane: 7, seq: seq as u32 });
+            assert_eq!(ClientRequest::decode(inner).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn plain_frames_are_not_sequenced() {
+        for request in requests() {
+            assert_eq!(split_sequenced(&request.encode()), Ok(None));
+        }
+        assert_eq!(split_sequenced(&[]), Ok(None));
+        // A sequenced frame is not decodable as a plain request: the
+        // envelope tag is rejected, never aliased.
+        let wire = encode_sequenced(1, 0, &ClientRequest::Shutdown);
+        assert_eq!(ClientRequest::decode(&wire), Err(FrameError::UnknownTag(TAG_SEQUENCED)));
+    }
+
+    #[test]
+    fn sequenced_corruption_is_detected_everywhere() {
+        let wire = encode_sequenced(
+            3,
+            12,
+            &ClientRequest::CheckIn {
+                user: UserId::new(3),
+                location: Point::new(5.0, -5.0),
+                timestamp: 17,
+            },
+        );
+        // Truncated header.
+        assert!(matches!(
+            split_sequenced(&wire[..SEQUENCED_HEADER_LEN - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        // A single flipped bit anywhere past the tag — lane, seq,
+        // checksum, or body — fails the checksum: corruption can never
+        // alias another lane's cached response.
+        for byte in 1..wire.len() {
+            let mut bad = wire.clone();
+            bad[byte] ^= 0x40;
+            assert!(
+                matches!(split_sequenced(&bad), Err(FrameError::ChecksumMismatch { .. })),
+                "flip at byte {byte} went undetected"
+            );
+        }
+        // Truncated body fails the checksum too (it covers the length).
+        assert!(matches!(
+            split_sequenced(&wire[..wire.len() - 3]),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_display() {
+        let e = FrameError::ChecksumMismatch { declared: 1, computed: 2 };
+        assert!(e.to_string().contains("checksum mismatch"));
     }
 }

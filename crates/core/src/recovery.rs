@@ -202,6 +202,204 @@ impl SnapshotBuilder {
     }
 }
 
+/// The serving loop's committed checkpoint, maintained **incrementally**:
+/// instead of re-encoding the whole device after every delivered batch —
+/// O(fleet) work per commit, which is what caps a shard's sustainable
+/// request rate once the fleet is large — the loop re-captures only the
+/// users the batch touched, and the full byte image is materialized
+/// lazily on the rare paths that actually read it (rollback after a
+/// caught panic, respawn of a dead shard,
+/// [`crate::EdgeServer::last_checkpoint`]).
+///
+/// Pool entries are append-only and **pinned**: the pool holds its own
+/// `Arc` clone of every indexed candidate set and posterior table, so an
+/// indexed allocation can never be freed and its address reused while
+/// the index is live — the pointer-identity dedup stays sound for the
+/// log's whole lifetime. Restore paths rebuild the log wholesale (the
+/// restored device is a fresh allocation graph), which also sheds any
+/// pool growth accumulated from re-captures.
+#[derive(Debug)]
+pub(crate) struct CommittedLog {
+    streams: StreamMode,
+    rng_state: [u64; 4],
+    sets: Vec<Arc<[Point]>>,
+    set_index: BTreeMap<usize, u32>,
+    /// Encoded bytes of the set pool section (length prefixes included).
+    set_bytes: usize,
+    cdfs: Vec<Arc<PosteriorTable>>,
+    cdf_index: BTreeMap<usize, u32>,
+    cdf_bytes: usize,
+    /// Per-user encoded frame bodies, ascending by raw id — the same
+    /// order [`crate::EdgeDevice::snapshot`] captures in.
+    frames: BTreeMap<u32, Vec<u8>>,
+    frame_bytes: usize,
+}
+
+/// Fixed header bytes of a v2 image: magic, version, stream byte +
+/// master, four RNG words, and the op counter.
+const V2_HEADER_LEN: usize = 4 + 2 + 1 + 8 + 32 + 8;
+
+impl CommittedLog {
+    pub(crate) fn new(streams: StreamMode) -> Self {
+        CommittedLog {
+            streams,
+            rng_state: [0; 4],
+            sets: Vec::new(),
+            set_index: BTreeMap::new(),
+            set_bytes: 0,
+            cdfs: Vec::new(),
+            cdf_index: BTreeMap::new(),
+            cdf_bytes: 0,
+            frames: BTreeMap::new(),
+            frame_bytes: 0,
+        }
+    }
+
+    /// Captures the device wholesale — spawn, restore, and test entry
+    /// point. Per-batch maintenance goes through
+    /// [`CommittedLog::capture_user`] instead.
+    pub(crate) fn rebuild(edge: &crate::EdgeDevice) -> Self {
+        let (rng_state, streams) = edge.checkpoint_header();
+        let mut log = CommittedLog::new(streams);
+        log.rng_state = rng_state;
+        for (user, state) in edge.user_states() {
+            log.capture_user(user, state);
+        }
+        log
+    }
+
+    /// Refreshes the device-wide generator words (the only non-per-user
+    /// state a v2 image carries; in [`StreamMode::Device`] every serving
+    /// op advances them).
+    pub(crate) fn set_rng(&mut self, rng_state: [u64; 4]) {
+        self.rng_state = rng_state;
+    }
+
+    fn intern_set(&mut self, shared: &Arc<[Point]>) -> u32 {
+        let key = shared.as_ptr() as usize;
+        match self.set_index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.sets.len() as u32;
+                self.set_bytes += 4 + 4 + shared.len() * 16;
+                self.sets.push(Arc::clone(shared));
+                self.set_index.insert(key, i);
+                i
+            }
+        }
+    }
+
+    fn intern_cdf(&mut self, shared: &Arc<PosteriorTable>) -> u32 {
+        let key = Arc::as_ptr(shared) as usize;
+        match self.cdf_index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.cdfs.len() as u32;
+                self.cdf_bytes += 4 + 4 + shared.cdf().len() * 8;
+                self.cdfs.push(Arc::clone(shared));
+                self.cdf_index.insert(key, i);
+                i
+            }
+        }
+    }
+
+    /// Re-encodes one user's frame into the log, interning any candidate
+    /// set or posterior table it references that the pools have not seen
+    /// yet. O(user state), independent of the fleet size.
+    pub(crate) fn capture_user(&mut self, user: UserId, state: &UserState) {
+        let per_user = matches!(self.streams, StreamMode::PerUser { .. });
+        let table = state.obfuscation.table();
+        let mut frame: Vec<u8> = Vec::new();
+        frame.put_u32(user.raw());
+        frame.put_u64(state.manager.windows_closed() as u64);
+        if per_user {
+            for word in state.stream.as_ref().map_or([0; 4], |r| r.state()) {
+                frame.put_u64(word);
+            }
+        }
+        put_points(&mut frame, state.manager.buffered());
+        put_entries(&mut frame, state.manager.profile().entries());
+        put_entries(&mut frame, state.manager.top_set());
+        frame.put_f64(table.match_radius_m());
+        frame.put_u32(table.len() as u32);
+        for (top, shared) in table.shared_entries() {
+            let idx = self.intern_set(shared);
+            frame.put_f64(top.x);
+            frame.put_f64(top.y);
+            frame.put_u32(idx);
+        }
+        let cache_count_at = frame.len();
+        frame.put_u32(0);
+        let mut cache_count: u32 = 0;
+        for (top, shared) in state.selection.shared_entries() {
+            let idx = self.intern_cdf(shared);
+            frame.put_f64(top.x);
+            frame.put_f64(top.y);
+            frame.put_u32(idx);
+            cache_count += 1;
+        }
+        frame[cache_count_at..cache_count_at + 4].copy_from_slice(&cache_count.to_be_bytes());
+        self.frame_bytes += 4 + frame.len();
+        if let Some(old) = self.frames.insert(user.raw(), frame) {
+            self.frame_bytes -= 4 + old.len();
+        }
+    }
+
+    /// The byte length [`CommittedLog::materialize`] would produce —
+    /// tracked incrementally so the commit path can export it without
+    /// encoding anything.
+    pub(crate) fn encoded_len(&self) -> usize {
+        V2_HEADER_LEN + 4 + self.set_bytes + 4 + self.cdf_bytes + 4 + self.frame_bytes + 8
+    }
+
+    /// Encodes the committed image as a [`DeviceSnapshot::decode`]-able
+    /// v2 byte log. O(total state) — called only on the read paths, never
+    /// per commit.
+    pub(crate) fn materialize(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        match self.streams {
+            StreamMode::Device => {
+                buf.put_u8(0);
+                buf.put_u64(0);
+            }
+            StreamMode::PerUser { master } => {
+                buf.put_u8(1);
+                buf.put_u64(master);
+            }
+        }
+        for word in self.rng_state {
+            buf.put_u64(word);
+        }
+        // The device op counter: always zero for `EdgeDevice` images,
+        // exactly as `DeviceSnapshot` records it.
+        buf.put_u64(0);
+        buf.put_u32(self.sets.len() as u32);
+        for set in &self.sets {
+            buf.put_u32((4 + set.len() * 16) as u32);
+            put_points(&mut buf, set);
+        }
+        buf.put_u32(self.cdfs.len() as u32);
+        for table in &self.cdfs {
+            let cdf = table.cdf();
+            buf.put_u32((4 + cdf.len() * 8) as u32);
+            buf.put_u32(cdf.len() as u32);
+            for &w in cdf {
+                buf.put_f64(w);
+            }
+        }
+        buf.put_u32(self.frames.len() as u32);
+        for frame in self.frames.values() {
+            buf.put_u32(frame.len() as u32);
+            buf.put_slice(frame);
+        }
+        let checksum = fnv1a(&buf);
+        buf.put_u64(checksum);
+        buf.freeze()
+    }
+}
+
 /// The shared-state side of a restore: every pooled candidate set and
 /// posterior table materialized **once**, then handed to each user
 /// record as two `Arc` bumps. Validation (CDF invariants) also happens
@@ -705,7 +903,7 @@ fn decode_v2(mut r: Reader<'_>) -> Result<DeviceSnapshot, RecoveryError> {
     Ok(DeviceSnapshot { rng_state, op_counter, streams, sets, cdfs, users })
 }
 
-fn put_points(buf: &mut BytesMut, points: &[Point]) {
+fn put_points<B: BufMut>(buf: &mut B, points: &[Point]) {
     buf.put_u32(points.len() as u32);
     for p in points {
         buf.put_f64(p.x);
@@ -723,7 +921,7 @@ fn get_points(r: &mut Reader<'_>) -> Result<Vec<Point>, RecoveryError> {
     Ok(points)
 }
 
-fn put_entries(buf: &mut BytesMut, entries: &[ProfileEntry]) {
+fn put_entries<B: BufMut>(buf: &mut B, entries: &[ProfileEntry]) {
     buf.put_u32(entries.len() as u32);
     for e in entries {
         buf.put_f64(e.location.x);
@@ -890,6 +1088,52 @@ mod tests {
                 cache: vec![(Point::new(10.0, 20.0), 0)],
             }],
         }
+    }
+
+    /// The committed log maintained per-batch must materialize an image
+    /// that restores to exactly the state a full `checkpoint()` encode
+    /// restores to — at every commit point, with users touched in an
+    /// order different from id order, with re-captures, and across a
+    /// simulated rollback-rebuild.
+    #[test]
+    fn incremental_committed_log_matches_the_full_encoder() {
+        let config = SystemConfig::builder().build().unwrap();
+        let mut edge = crate::EdgeDevice::with_per_user_streams(config, 9);
+        let mut log = CommittedLog::rebuild(&edge);
+        let users: Vec<UserId> = [3u32, 0, 5, 1, 4, 2].iter().map(|&u| UserId::new(u)).collect();
+        for round in 0..3 {
+            for &user in &users {
+                let home = Point::new(f64::from(user.raw()) * 3_000.0, 500.0);
+                // One "batch" per user: check-ins, a window close, and —
+                // from the second round — a served request, so the
+                // posterior cache and per-user stream positions move too.
+                for _ in 0..20 {
+                    edge.report_checkin(user, home);
+                }
+                if round > 0 {
+                    let _ = edge.reported_location(user, home);
+                }
+                edge.finalize_window(user);
+                log.set_rng(edge.checkpoint_header().0);
+                log.capture_user(user, edge.user_state(user).unwrap());
+            }
+            let image = log.materialize();
+            assert_eq!(image.len(), log.encoded_len(), "tracked length must be exact");
+            let via_log = crate::EdgeDevice::restore_from_checkpoint(config, &image).unwrap();
+            let via_full =
+                crate::EdgeDevice::restore_from_checkpoint(config, &edge.checkpoint()).unwrap();
+            assert_eq!(via_log.state_digest(), via_full.state_digest(), "round {round}");
+            if round == 1 {
+                // A supervisor rollback replaces the device wholesale and
+                // rebuilds the log against the fresh allocation graph.
+                edge = via_log;
+                log = CommittedLog::rebuild(&edge);
+            }
+        }
+        assert_eq!(
+            DeviceSnapshot::decode(&log.materialize()).unwrap().user_count(),
+            users.len()
+        );
     }
 
     /// Hand-writes the snapshot in the original v1 layout (embedded

@@ -1,10 +1,11 @@
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 use privlocad_geo::rng::{derive_seed, seeded};
 use privlocad_geo::Point;
 use privlocad_mobility::UserId;
@@ -12,7 +13,8 @@ use privlocad_telemetry::{Counter, Determinism, Gauge, Histogram, Telemetry, Tra
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::protocol::{ClientRequest, EdgeResponse, ErrorCode, FrameError};
+use crate::protocol::{split_sequenced, ClientRequest, EdgeResponse, ErrorCode, FrameError};
+use crate::recovery::CommittedLog;
 use crate::{EdgeDevice, SystemConfig, SystemError};
 
 /// RNG stream index reserved for the supervisor's backoff jitter, far
@@ -83,6 +85,13 @@ pub enum TransportError {
         /// giving up.
         restarts: u32,
     },
+    /// The server rejected a sequenced frame as older than its dedup
+    /// window: the cached response is gone, and re-serving would
+    /// double-apply the request.
+    StaleSequence {
+        /// The rejected sequence number.
+        seq: u32,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -97,6 +106,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Overloaded => write!(f, "edge server request queue is full"),
             TransportError::WorkerFailed { restarts } => {
                 write!(f, "edge worker failed permanently after {restarts} restarts")
+            }
+            TransportError::StaleSequence { seq } => {
+                write!(f, "server rejected sequence number {seq} as older than its dedup window")
             }
         }
     }
@@ -123,8 +135,17 @@ impl From<FrameError> for TransportError {
 /// testable without sleeping on a real clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Total attempts, including the first (minimum 1).
+    /// Total attempts, including the first (minimum 1), for
+    /// [`TransportError::Overloaded`] rejections.
     pub max_attempts: u32,
+    /// Total attempts, including the first (minimum 1), for
+    /// [`TransportError::Disconnected`] — its own budget, separate from
+    /// the overload one: during a supervised shard restart the transport
+    /// briefly has no live endpoint, and a bounded reconnect retry
+    /// bridges the gap (the fabric swaps the healed shard's handle in
+    /// between attempts — see [`crate::fabric`]). `1` fails fast, the
+    /// pre-fabric behaviour.
+    pub disconnect_attempts: u32,
     /// Yield spins before the first retry; doubles every retry.
     pub backoff_base: u32,
     /// Upper bound on spins for one backoff step.
@@ -133,7 +154,12 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4, backoff_base: 32, backoff_cap: 4_096 }
+        RetryPolicy {
+            max_attempts: 4,
+            disconnect_attempts: 2,
+            backoff_base: 32,
+            backoff_cap: 4_096,
+        }
     }
 }
 
@@ -161,25 +187,44 @@ impl EdgeHandle {
     /// [`EdgeHandle::try_call`] with a deterministic retry budget: on
     /// [`TransportError::Overloaded`], backs off (bounded exponential
     /// yield spins — no wall clock) and retries until `policy` is
-    /// exhausted.
+    /// exhausted. A transient [`TransportError::Disconnected`] — the
+    /// window where a supervised restart has torn the old endpoint down
+    /// — is retried too, on its own
+    /// [`RetryPolicy::disconnect_attempts`] budget.
     pub fn call_with_retry(
         &self,
         request: ClientRequest,
         policy: &RetryPolicy,
     ) -> Result<EdgeResponse, TransportError> {
         let frame = request.encode().to_vec();
-        let attempts = policy.max_attempts.max(1);
-        for attempt in 0..attempts {
+        let overload_budget = policy.max_attempts.max(1);
+        let disconnect_budget = policy.disconnect_attempts.max(1);
+        let mut overloads = 0;
+        let mut disconnects = 0;
+        loop {
             match self.try_call_raw(frame.clone()) {
-                Err(TransportError::Overloaded) if attempt + 1 < attempts => {
-                    for _ in 0..policy.spins(attempt) {
+                Err(TransportError::Overloaded) => {
+                    overloads += 1;
+                    if overloads >= overload_budget {
+                        return Err(TransportError::Overloaded);
+                    }
+                    for _ in 0..policy.spins(overloads - 1) {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TransportError::Disconnected) => {
+                    disconnects += 1;
+                    if disconnects >= disconnect_budget {
+                        return Err(TransportError::Disconnected);
+                    }
+                    self.metrics.disconnect_retries.inc();
+                    for _ in 0..policy.spins(disconnects - 1) {
                         std::thread::yield_now();
                     }
                 }
                 outcome => return outcome,
             }
         }
-        Err(TransportError::Overloaded)
     }
 
     /// Sends a pre-encoded request frame — possibly corrupted, which is
@@ -227,6 +272,9 @@ impl EdgeHandle {
             }
             EdgeResponse::Error { code: ErrorCode::WorkerFailed, detail } => {
                 Err(TransportError::WorkerFailed { restarts: detail })
+            }
+            EdgeResponse::Error { code: ErrorCode::StaleSequence, detail } => {
+                Err(TransportError::StaleSequence { seq: detail })
             }
             response => Ok(response),
         }
@@ -307,6 +355,19 @@ pub struct ServerOptions {
     /// private hub; hand several servers a clone of one hub to aggregate a
     /// fleet (cloning `ServerOptions` shares the hub — it is a handle).
     pub telemetry: Telemetry,
+    /// Per-lane exactly-once dedup depth: how many committed sequenced
+    /// responses each user lane caches for duplicate replay (see
+    /// [`crate::protocol::split_sequenced`]). A duplicate older than the
+    /// window is rejected with [`TransportError::StaleSequence`] instead
+    /// of being double-applied. Clamped to at least 1.
+    pub dedup_window: usize,
+    /// Start the device from this committed checkpoint instead of empty
+    /// — how the fabric respawns a permanently failed shard without
+    /// re-drawing a single released candidate ([`crate::fabric`]). An
+    /// unreadable checkpoint fails the spawn (the serving loop exits
+    /// with the recovery error; clients observe a disconnect), never
+    /// silently serves from empty state.
+    pub restore_from: Option<Bytes>,
 }
 
 impl Default for ServerOptions {
@@ -320,6 +381,8 @@ impl Default for ServerOptions {
             fault_plan: FaultPlan::none(),
             per_user_streams: false,
             telemetry: Telemetry::new(),
+            dedup_window: 32,
+            restore_from: None,
         }
     }
 }
@@ -378,6 +441,9 @@ struct ServerMetrics {
     overload_rejections: Counter,
     checkpoints: Counter,
     wakeups: Counter,
+    duplicates_suppressed: Counter,
+    stale_rejections: Counter,
+    disconnect_retries: Counter,
     queue_depth: Gauge,
     batch_size: Histogram,
     checkpoint_bytes: Histogram,
@@ -405,6 +471,14 @@ impl ServerMetrics {
             overload_rejections: registry.counter("server.overload_rejections", Scheduling),
             checkpoints: registry.counter("server.checkpoints", Scheduling),
             wakeups: registry.counter("server.wakeups", Scheduling),
+            // Duplicate suppression counts logical re-deliveries, which a
+            // deterministic per-lane fault plan places independently of
+            // batch boundaries and the user→shard partition.
+            duplicates_suppressed: registry.counter("server.duplicates_suppressed", Deterministic),
+            stale_rejections: registry.counter("server.stale_rejections", Deterministic),
+            // Reconnect retries land wherever a restart races the caller —
+            // scheduling-dependent, like the restarts that cause them.
+            disconnect_retries: registry.counter("server.disconnect_retries", Scheduling),
             queue_depth: registry.gauge("server.queue_depth", Scheduling),
             batch_size: registry.histogram("server.batch_size", Scheduling),
             checkpoint_bytes: registry.histogram("server.checkpoint_bytes", Scheduling),
@@ -420,6 +494,7 @@ impl ServerMetrics {
             overload_rejections: self.overload_rejections.value(),
             queue_depth: self.queue_depth.value().max(0) as u64,
             checkpoints: self.checkpoints.value(),
+            duplicates_suppressed: self.duplicates_suppressed.value(),
         }
     }
 }
@@ -446,6 +521,9 @@ pub struct HealthSnapshot {
     pub queue_depth: u64,
     /// Recovery checkpoints committed (one per delivered batch).
     pub checkpoints: u64,
+    /// Duplicate sequenced deliveries answered from the dedup window's
+    /// cached response frames instead of being re-applied.
+    pub duplicates_suppressed: u64,
 }
 
 /// An edge device behind a supervised message-passing serving loop.
@@ -490,6 +568,7 @@ pub struct EdgeServer {
     thread: std::thread::JoinHandle<Result<EdgeDevice, SystemError>>,
     metrics: Arc<ServerMetrics>,
     telemetry: Telemetry,
+    checkpoint: Arc<Mutex<Option<CommittedLog>>>,
 }
 
 impl EdgeServer {
@@ -510,8 +589,11 @@ impl EdgeServer {
         let telemetry = options.telemetry.clone();
         let metrics = Arc::new(ServerMetrics::new(&telemetry));
         let worker_metrics = Arc::clone(&metrics);
-        let thread =
-            std::thread::spawn(move || serve(config, seed, rx, options, worker_metrics));
+        let checkpoint = Arc::new(Mutex::new(None));
+        let worker_checkpoint = Arc::clone(&checkpoint);
+        let thread = std::thread::spawn(move || {
+            serve(config, seed, rx, options, worker_metrics, worker_checkpoint)
+        });
         let handle = EdgeHandle {
             tx,
             client: 0,
@@ -519,7 +601,20 @@ impl EdgeServer {
             next_client: Arc::new(AtomicU64::new(1)),
             metrics: Arc::clone(&metrics),
         };
-        (EdgeServer { thread, metrics, telemetry }, handle)
+        (EdgeServer { thread, metrics, telemetry, checkpoint }, handle)
+    }
+
+    /// The last committed recovery checkpoint (empty until the serving
+    /// loop has started). The loop maintains the committed state
+    /// incrementally — O(batch) per commit, not O(device) — and this
+    /// call materializes it into the versioned v2 byte image on demand.
+    /// This is what the fabric feeds back through
+    /// [`ServerOptions::restore_from`] to respawn a permanently failed
+    /// shard from its committed state — released candidate sets, window
+    /// buffers, and RNG positions all resume exactly, so not a single
+    /// released candidate is ever re-drawn by the replacement.
+    pub fn last_checkpoint(&self) -> Bytes {
+        self.checkpoint.lock().as_ref().map_or_else(Bytes::new, CommittedLog::materialize)
     }
 
     /// The server's current health counters, read from the telemetry
@@ -557,12 +652,54 @@ impl EdgeServer {
 /// What the serving loop decided to do with one envelope of a batch.
 enum Verdict {
     /// Serve it: reply with response at this index of the batch output.
+    /// A same-batch duplicate of a sequenced request shares its
+    /// original's index, so both clients receive the one response.
     Serve(usize),
+    /// A duplicate of an already-committed sequenced request: reply with
+    /// the cached response frame, byte-for-byte what the original got,
+    /// without re-applying anything.
+    Replay(Bytes),
+    /// A sequenced request older than the dedup window: the cached
+    /// response is gone and re-serving would double-apply, so reject it
+    /// explicitly with [`ErrorCode::StaleSequence`].
+    RejectStale(u32),
     /// Reject it as malformed, with this many strikes left.
     Reject(u32),
     /// Drop it silently (banned client): the reply channel closes and the
     /// client observes a disconnect.
     Drop,
+}
+
+/// Per-user exactly-once state: the next expected sequence number (one
+/// past the highest committed) and the window of recently committed
+/// `(seq, response frame)` pairs available for duplicate replay.
+#[derive(Debug, Default)]
+struct LaneState {
+    next_seq: u32,
+    window: VecDeque<(u32, Bytes)>,
+}
+
+/// Books one malformed frame against its sender: a strike with an
+/// explicit countdown reply while under the limit, a ban (silent drop,
+/// the client observes a disconnect) once the limit is reached.
+fn book_malformed(
+    client: u64,
+    strikes: &mut BTreeMap<u64, u32>,
+    banned: &mut BTreeSet<u64>,
+    malformed_limit: u32,
+    metrics: &ServerMetrics,
+) -> Verdict {
+    metrics.malformed_frames.inc();
+    let count = strikes.entry(client).or_insert(0);
+    *count += 1;
+    if *count >= malformed_limit {
+        strikes.remove(&client);
+        banned.insert(client);
+        metrics.dropped_clients.inc();
+        Verdict::Drop
+    } else {
+        Verdict::Reject(malformed_limit - *count)
+    }
 }
 
 fn serve(
@@ -571,27 +708,38 @@ fn serve(
     rx: Receiver<Envelope>,
     options: ServerOptions,
     metrics: Arc<ServerMetrics>,
+    checkpoint_cell: Arc<Mutex<Option<CommittedLog>>>,
 ) -> Result<EdgeDevice, SystemError> {
     let mut edge = if options.per_user_streams {
         EdgeDevice::with_per_user_streams(config, seed)
     } else {
         EdgeDevice::new(config, seed)
     };
+    if let Some(snapshot) = options.restore_from.as_ref() {
+        // Resume from the committed checkpoint of a failed predecessor.
+        // An unreadable snapshot fails the spawn outright — serving from
+        // empty state here would silently re-draw released candidates.
+        restore_checkpoint(snapshot, config, &mut edge)?;
+    }
     let telemetry = options.telemetry.clone();
     // Logical-clock tracer for the per-wakeup pipeline stages. The clock
     // advances one tick per decoded request — never wall time — so span
     // boundaries are reproducible. With the `trace` feature off this is a
     // zero-sized no-op.
     let tracer = Tracer::default();
-    // The committed recovery checkpoint: the versioned, checksummed byte
-    // log described in `crate::recovery`, re-taken after every delivered
-    // batch and decoded+restored after every caught panic. Replies go out
-    // only after the checkpoint commits, so restoring it can never roll
-    // back state a client has already observed.
-    let mut log: Bytes = edge.checkpoint();
+    // The committed recovery checkpoint: the state behind the versioned,
+    // checksummed byte log described in `crate::recovery`, maintained
+    // incrementally — every delivered batch re-captures only the users it
+    // touched (O(batch) per commit, not O(device)) and the byte image is
+    // materialized only on the read paths (rollback after a caught panic,
+    // shard respawn, `EdgeServer::last_checkpoint`). Replies go out only
+    // after the commit, so restoring it can never roll back state a
+    // client has already observed.
+    *checkpoint_cell.lock() = Some(CommittedLog::rebuild(&edge));
     let mut backoff_rng = seeded(derive_seed(seed, SUPERVISOR_STREAM));
     let mut fault_plan = options.fault_plan.clone();
     let malformed_limit = options.malformed_limit.max(1);
+    let dedup_window = options.dedup_window.max(1);
     // Served-request ordinal (successfully decoded, non-shutdown), the
     // clock the fault plan runs on.
     let mut served: u64 = 0;
@@ -600,6 +748,16 @@ fn serve(
     // keeps health iteration order deterministic.
     let mut strikes: BTreeMap<u64, u32> = BTreeMap::new();
     let mut banned: BTreeSet<u64> = BTreeSet::new();
+    // Exactly-once state: one lane per user carrying its sequence
+    // horizon and replay window. Committed response frames are inserted
+    // at commit time only, so a batch the supervisor rolls back leaves
+    // no trace here and its retry is a first application.
+    let mut lanes: BTreeMap<u32, LaneState> = BTreeMap::new();
+    // Per-batch scratch: first index of each fresh (lane, seq) in the
+    // batch, and the (lane, seq, response index) triples to cache at
+    // commit.
+    let mut batch_seen: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    let mut pending_cache: Vec<(u32, u32, usize)> = Vec::new();
 
     // Scratch reused across wakeups: one blocking recv per batch, then the
     // queue is drained non-blocking and handed to `EdgeDevice::serve_batch`
@@ -607,6 +765,7 @@ fn serve(
     let mut batch: Vec<Envelope> = Vec::new();
     let mut verdicts: Vec<Verdict> = Vec::new();
     let mut requests: Vec<ClientRequest> = Vec::new();
+    let mut touched: Vec<UserId> = Vec::new();
     let mut responses: Vec<EdgeResponse> = Vec::new();
     let mut frame_buf: Vec<u8> = Vec::new();
     let mut offsets: Vec<std::ops::Range<usize>> = Vec::new();
@@ -626,6 +785,8 @@ fn serve(
         // worker its life.
         verdicts.clear();
         requests.clear();
+        batch_seen.clear();
+        pending_cache.clear();
         let mut shutdown_at = None;
         {
             let _span = tracer.span("server.decode");
@@ -634,28 +795,75 @@ fn serve(
                     verdicts.push(Verdict::Drop);
                     continue;
                 }
-                match ClientRequest::decode(&envelope.frame) {
+                // Peel the exactly-once envelope first. The checksum over
+                // (lane, seq, inner) fails closed: a corrupted header can
+                // never alias another lane's cached response, it lands on
+                // the malformed path like any other damaged frame.
+                let (sequenced, inner) = match split_sequenced(&envelope.frame) {
+                    Ok(Some((header, inner))) => (Some(header), inner),
+                    Ok(None) => (None, envelope.frame.as_slice()),
+                    Err(_) => {
+                        verdicts.push(book_malformed(
+                            envelope.client,
+                            &mut strikes,
+                            &mut banned,
+                            malformed_limit,
+                            &metrics,
+                        ));
+                        continue;
+                    }
+                };
+                if let Some(header) = sequenced {
+                    let lane = lanes.entry(header.lane).or_default();
+                    if let Some((_, cached)) =
+                        lane.window.iter().find(|(seq, _)| *seq == header.seq)
+                    {
+                        // Committed duplicate: replay the exact response
+                        // frame the original received.
+                        strikes.remove(&envelope.client);
+                        metrics.duplicates_suppressed.inc();
+                        verdicts.push(Verdict::Replay(cached.clone()));
+                        continue;
+                    }
+                    if let Some(&index) = batch_seen.get(&(header.lane, header.seq)) {
+                        // Same-batch duplicate: share the original's
+                        // response slot; it is applied exactly once.
+                        strikes.remove(&envelope.client);
+                        metrics.duplicates_suppressed.inc();
+                        verdicts.push(Verdict::Serve(index));
+                        continue;
+                    }
+                    if header.seq < lane.next_seq {
+                        // Older than the replay window: re-serving would
+                        // double-apply, so reject explicitly instead.
+                        strikes.remove(&envelope.client);
+                        metrics.stale_rejections.inc();
+                        verdicts.push(Verdict::RejectStale(header.seq));
+                        continue;
+                    }
+                }
+                match ClientRequest::decode(inner) {
                     Ok(ClientRequest::Shutdown) => {
                         shutdown_at = Some(i);
                         break;
                     }
                     Ok(request) => {
                         strikes.remove(&envelope.client);
+                        if let Some(header) = sequenced {
+                            batch_seen.insert((header.lane, header.seq), requests.len());
+                            pending_cache.push((header.lane, header.seq, requests.len()));
+                        }
                         verdicts.push(Verdict::Serve(requests.len()));
                         requests.push(request);
                     }
                     Err(_) => {
-                        metrics.malformed_frames.inc();
-                        let count = strikes.entry(envelope.client).or_insert(0);
-                        *count += 1;
-                        if *count >= malformed_limit {
-                            strikes.remove(&envelope.client);
-                            banned.insert(envelope.client);
-                            metrics.dropped_clients.inc();
-                            verdicts.push(Verdict::Drop);
-                        } else {
-                            verdicts.push(Verdict::Reject(malformed_limit - *count));
-                        }
+                        verdicts.push(book_malformed(
+                            envelope.client,
+                            &mut strikes,
+                            &mut banned,
+                            malformed_limit,
+                            &metrics,
+                        ));
                     }
                 }
             }
@@ -683,8 +891,20 @@ fn serve(
             }
             restarts += 1;
             metrics.restarts.inc();
+            // Materialize the committed image only here, on the rollback
+            // path — the hot loop never pays for the full encode.
             let restored = restarts <= options.max_restarts
-                && restore_checkpoint(&log, config, &mut edge).is_ok();
+                && checkpoint_cell
+                    .lock()
+                    .as_ref()
+                    .map(CommittedLog::materialize)
+                    .is_some_and(|log| restore_checkpoint(&log, config, &mut edge).is_ok());
+            if restored {
+                // The restored device is a fresh allocation graph, so the
+                // committed log is rebuilt wholesale: pool pointer
+                // identities must track the live `Arc`s.
+                *checkpoint_cell.lock() = Some(CommittedLog::rebuild(&edge));
+            }
             if !restored {
                 // Past the restart budget (or the checkpoint itself is
                 // unreadable): fail every pending reply explicitly and
@@ -715,10 +935,26 @@ fn serve(
         // Commit phase: checkpoint first, deliver second. A crash between
         // the two replays the batch from the *old* checkpoint without
         // having exposed anything, so clients never observe rolled-back
-        // state.
-        log = edge.checkpoint();
+        // state. The committed log is updated incrementally: only the
+        // users this batch touched are re-captured (plus the device-wide
+        // generator words), so the commit costs O(batch) — the full
+        // encode happens only if someone actually restores or reads it.
+        touched.clear();
+        touched.extend(requests.iter().filter_map(ClientRequest::user));
+        touched.sort_unstable();
+        touched.dedup();
+        {
+            let mut cell = checkpoint_cell.lock();
+            let committed = cell.get_or_insert_with(|| CommittedLog::rebuild(&edge));
+            committed.set_rng(edge.checkpoint_header().0);
+            for &user in &touched {
+                if let Some(state) = edge.user_state(user) {
+                    committed.capture_user(user, state);
+                }
+            }
+            metrics.checkpoint_bytes.observe(committed.encoded_len() as u64);
+        }
         metrics.checkpoints.inc();
-        metrics.checkpoint_bytes.observe(log.len() as u64);
         // Telemetry drains strictly after the commit: a crash wipes any
         // undelivered ledger events together with the device state they
         // described, keeping budget-spend delivery exactly-once.
@@ -738,10 +974,31 @@ fn serve(
             }
         }
         let block = Bytes::copy_from_slice(&frame_buf);
+        // Dedup-window commit, strictly before any reply leaves: the
+        // cached frames are the exact bytes the clients are about to
+        // receive, so a duplicate racing in behind its original can only
+        // ever observe the committed response.
+        for &(lane_id, seq, index) in &pending_cache {
+            let lane = lanes.entry(lane_id).or_default();
+            lane.window.push_back((seq, block.slice(offsets[index].clone())));
+            while lane.window.len() > dedup_window {
+                lane.window.pop_front();
+            }
+            lane.next_seq = lane.next_seq.max(seq.saturating_add(1));
+        }
         for (envelope, verdict) in batch.iter().zip(verdicts.iter()) {
             match verdict {
                 Verdict::Serve(i) => {
                     let _ = envelope.reply.send(block.slice(offsets[*i].clone()));
+                }
+                Verdict::Replay(frame) => {
+                    let _ = envelope.reply.send(frame.clone());
+                }
+                Verdict::RejectStale(seq) => {
+                    let _ = envelope.reply.send(
+                        EdgeResponse::Error { code: ErrorCode::StaleSequence, detail: *seq }
+                            .encode(),
+                    );
                 }
                 Verdict::Reject(strikes_left) => {
                     let _ = envelope.reply.send(
@@ -918,6 +1175,7 @@ mod tests {
             TransportError::Malformed { strikes_left: 3 },
             TransportError::Overloaded,
             TransportError::WorkerFailed { restarts: 2 },
+            TransportError::StaleSequence { seq: 7 },
         ] {
             assert!(!e.to_string().is_empty());
             assert!(e.source().is_none());
@@ -1072,7 +1330,15 @@ mod tests {
             replies.push(reply_rx);
         }
         drop(tx);
-        let edge = serve(config, 7, rx, options, Arc::clone(&metrics)).unwrap();
+        let edge = serve(
+            config,
+            7,
+            rx,
+            options,
+            Arc::clone(&metrics),
+            Arc::new(Mutex::new(None)),
+        )
+        .unwrap();
         for reply_rx in replies {
             let frame = reply_rx.recv().unwrap();
             assert_eq!(
@@ -1103,7 +1369,12 @@ mod tests {
         handle.tx.send(Envelope { client: 9, frame: Vec::new(), reply: reply_tx }).unwrap();
         let err = handle.try_call(ClientRequest::Shutdown).unwrap_err();
         assert_eq!(err, TransportError::Overloaded);
-        let policy = RetryPolicy { max_attempts: 3, backoff_base: 4, backoff_cap: 64 };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            disconnect_attempts: 1,
+            backoff_base: 4,
+            backoff_cap: 64,
+        };
         let err = handle.call_with_retry(ClientRequest::Shutdown, &policy).unwrap_err();
         assert_eq!(err, TransportError::Overloaded);
         assert_eq!(metrics.overload_rejections.value(), 4);
@@ -1185,8 +1456,174 @@ mod tests {
     }
 
     #[test]
+    fn sequenced_duplicates_replay_without_reapplying() {
+        use crate::protocol::encode_sequenced;
+        let hub = Telemetry::new();
+        let (server, handle) = spawn_with(ServerOptions {
+            telemetry: hub.clone(),
+            ..ServerOptions::default()
+        });
+        let user = UserId::new(5);
+        let home = Point::new(25.0, 75.0);
+        for t in 0..30i64 {
+            let frame = encode_sequenced(
+                5,
+                t as u32,
+                &ClientRequest::CheckIn { user, location: home, timestamp: t },
+            );
+            assert_eq!(handle.call_raw(frame).unwrap(), EdgeResponse::Ack);
+        }
+        let finalize = encode_sequenced(5, 30, &ClientRequest::FinalizeWindow { user });
+        let first = handle.call_raw(finalize.clone()).unwrap();
+        assert_eq!(first, EdgeResponse::WindowClosed { fresh_obfuscations: 1 });
+        // Re-delivering the committed finalize replays its cached
+        // response — no second window ever closes.
+        for _ in 0..3 {
+            assert_eq!(handle.call_raw(finalize.clone()).unwrap(), first);
+        }
+        assert_eq!(server.health().duplicates_suppressed, 3);
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+        let metrics = hub.registry().snapshot();
+        assert_eq!(metrics.counter("edge.checkins"), Some(30));
+        assert_eq!(metrics.counter("edge.windows_closed"), Some(1));
+        assert_eq!(metrics.counter("server.duplicates_suppressed"), Some(3));
+    }
+
+    #[test]
+    fn sequences_older_than_the_window_are_rejected() {
+        use crate::protocol::encode_sequenced;
+        let (server, handle) = spawn_with(ServerOptions {
+            dedup_window: 2,
+            ..ServerOptions::default()
+        });
+        let user = UserId::new(1);
+        let checkin = |seq: u32| {
+            encode_sequenced(
+                1,
+                seq,
+                &ClientRequest::CheckIn {
+                    user,
+                    location: Point::ORIGIN,
+                    timestamp: seq as i64,
+                },
+            )
+        };
+        for seq in 0..5 {
+            handle.call_raw(checkin(seq)).unwrap();
+        }
+        // The window holds seqs {3, 4}; seq 0 fell out, so its duplicate
+        // is rejected explicitly instead of being double-applied.
+        assert_eq!(
+            handle.call_raw(checkin(0)).unwrap_err(),
+            TransportError::StaleSequence { seq: 0 }
+        );
+        // An in-window duplicate still replays fine.
+        assert_eq!(handle.call_raw(checkin(4)).unwrap(), EdgeResponse::Ack);
+        assert_eq!(server.health().duplicates_suppressed, 1);
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn corrupted_sequenced_frames_cost_strikes_not_replays() {
+        use crate::protocol::encode_sequenced;
+        let (server, handle) = spawn();
+        let user = UserId::new(2);
+        let good = encode_sequenced(
+            2,
+            0,
+            &ClientRequest::CheckIn { user, location: Point::ORIGIN, timestamp: 0 },
+        );
+        handle.call_raw(good.clone()).unwrap();
+        // A corrupted duplicate of seq 0: the checksum catches the damage
+        // before the dedup window is ever consulted.
+        let mut corrupt = good;
+        corrupt[6] ^= 0x10;
+        let err = handle.call_raw(corrupt).unwrap_err();
+        assert!(matches!(err, TransportError::Malformed { .. }));
+        assert_eq!(server.health().duplicates_suppressed, 0);
+        assert_eq!(server.health().malformed_frames, 1);
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn restore_from_continues_streams_bit_for_bit() {
+        let config = SystemConfig::builder().build().unwrap();
+        let user = UserId::new(4);
+        let home = Point::new(60.0, 10.0);
+        let prime = |handle: &EdgeHandle| {
+            for t in 0..30 {
+                handle.check_in(user, home, t).unwrap();
+            }
+            handle.finalize_window(user).unwrap();
+        };
+        // Continuous run: five draws on one server.
+        let (server, handle) = EdgeServer::spawn_with(config, 11, ServerOptions::default());
+        prime(&handle);
+        let continuous: Vec<Point> =
+            (0..5).map(|_| handle.request_location(user, home).unwrap()).collect();
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+        // Split run: four draws, then a new server restored from the
+        // committed checkpoint takes the fifth — bit-for-bit the same.
+        let (server, handle) = EdgeServer::spawn_with(config, 11, ServerOptions::default());
+        prime(&handle);
+        let mut split: Vec<Point> =
+            (0..4).map(|_| handle.request_location(user, home).unwrap()).collect();
+        let snapshot = server.last_checkpoint();
+        assert!(!snapshot.is_empty());
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+        let (server, handle) = EdgeServer::spawn_with(
+            config,
+            11,
+            ServerOptions { restore_from: Some(snapshot), ..ServerOptions::default() },
+        );
+        split.push(handle.request_location(user, home).unwrap());
+        handle.shutdown().unwrap();
+        assert_eq!(server.join().unwrap().user_count(), 1);
+        assert_eq!(split, continuous);
+    }
+
+    #[test]
+    fn disconnect_retries_have_their_own_budget() {
+        // A dead endpoint: every attempt observes Disconnected.
+        let (tx, rx) = sync_channel::<Envelope>(4);
+        drop(rx);
+        let telemetry = Telemetry::new();
+        let metrics = Arc::new(ServerMetrics::new(&telemetry));
+        let handle = EdgeHandle {
+            tx,
+            client: 0,
+            next_client: Arc::new(AtomicU64::new(1)),
+            metrics: Arc::clone(&metrics),
+        };
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            disconnect_attempts: 3,
+            backoff_base: 1,
+            backoff_cap: 4,
+        };
+        let err = handle.call_with_retry(ClientRequest::Shutdown, &policy).unwrap_err();
+        assert_eq!(err, TransportError::Disconnected);
+        // Two retries ran before the third attempt gave up.
+        assert_eq!(metrics.disconnect_retries.value(), 2);
+        // The pre-fabric fail-fast shape: a budget of 1 never retries.
+        let policy = RetryPolicy { disconnect_attempts: 1, ..policy };
+        handle.call_with_retry(ClientRequest::Shutdown, &policy).unwrap_err();
+        assert_eq!(metrics.disconnect_retries.value(), 2);
+    }
+
+    #[test]
     fn retry_policy_backoff_is_capped() {
-        let policy = RetryPolicy { max_attempts: 10, backoff_base: 8, backoff_cap: 100 };
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            disconnect_attempts: 1,
+            backoff_base: 8,
+            backoff_cap: 100,
+        };
         assert_eq!(policy.spins(0), 8);
         assert_eq!(policy.spins(1), 16);
         assert_eq!(policy.spins(30), 100);

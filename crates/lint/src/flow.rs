@@ -103,6 +103,13 @@ const SANITIZERS: &[FnPat] = &[
     // true-state serialization inside it carries its own documented inline
     // allow; callers holding the opaque log are on the sanitized side.
     pat(Some("core"), Some("EdgeDevice"), "checkpoint"),
+    // The incremental committed log is the same trusted-store boundary in
+    // per-user pieces: `capture_user`/`rebuild` re-encode only the users a
+    // committed batch touched, the frames live in the supervisor's in-memory
+    // log, and the only consumers are `materialize()` → the restore paths
+    // (DESIGN.md §12, §17). Same policy, same rationale as `checkpoint`.
+    pat(Some("core"), Some("CommittedLog"), "capture_user"),
+    pat(Some("core"), Some("CommittedLog"), "rebuild"),
 ];
 
 /// Serialization points where data leaves the trusted edge runtime.
@@ -110,6 +117,11 @@ const SINKS: &[FnPat] = &[
     pat(Some("core"), Some("EdgeResponse"), "encode"),
     pat(Some("core"), Some("EdgeResponse"), "encode_into"),
     pat(Some("core"), Some("DeviceSnapshot"), "encode"),
+    // The degraded-serving stale cache: entries are replayed verbatim to
+    // clients while a shard's breaker is open, so writing a true location
+    // here is deferred wire egress. Only decoded *released* responses may
+    // populate it (the live call site is qualified so this resolves).
+    pat(Some("core"), Some("StaleCache"), "insert"),
     pat(Some("adnet"), Some("BidRequest"), "encode"),
     pat(Some("adnet"), Some("AdNetwork"), "serve"),
     pat(Some("adnet"), Some("AdNetwork"), "auction"),

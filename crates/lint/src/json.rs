@@ -543,6 +543,52 @@ fn validate_chaos_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
     if !recovery.is_finite() || recovery < 0.0 {
         return Err(format!("runs[{i}] (`{name}`) has invalid `recovery_ns` {recovery}"));
     }
+    validate_fabric_columns(i, name, run)
+}
+
+/// The self-healing-fabric survival columns travel as a group: if a
+/// chaos row claims any of them, it must carry all five as integers
+/// ≥ 0, exactly-once must hold on its face (`duplicates_suppressed` ≤
+/// `duplicates_injected`), and a degraded serve is only legal when the
+/// breaker trace actually recorded a transition — a row cannot claim
+/// stale-cache serving without the open breaker that permits it.
+fn validate_fabric_columns(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    const COLUMNS: [&str; 5] = [
+        "duplicates_injected",
+        "duplicates_suppressed",
+        "breaker_transitions",
+        "degraded_serves",
+        "deadline_misses",
+    ];
+    if !COLUMNS.iter().any(|key| run.get(key).is_some()) {
+        return Ok(());
+    }
+    let mut values = [0.0; 5];
+    for (slot, key) in values.iter_mut().zip(COLUMNS) {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 0.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 0)"));
+        }
+        *slot = v;
+    }
+    let [injected, suppressed, transitions, degraded, _] = values;
+    if suppressed > injected {
+        return Err(format!(
+            "runs[{i}] (`{name}`) claims `duplicates_suppressed` {suppressed} > \
+             `duplicates_injected` {injected} (cannot suppress more copies than were injected)"
+        ));
+    }
+    // lint:allow(float-eq): exact zero test — both values were proven integral >= 0 above
+    if degraded > 0.0 && transitions == 0.0 {
+        return Err(format!(
+            "runs[{i}] (`{name}`) claims {degraded} `degraded_serves` with zero \
+             `breaker_transitions` (stale-cache serving requires an open breaker)"
+        ));
+    }
     Ok(())
 }
 
@@ -792,6 +838,55 @@ mod tests {
         // Any row claiming faults_injected needs the record, chaos-named or not.
         let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "faults_injected": 3}"#);
         assert!(validate_bench_report(&sneaky).unwrap_err().contains("requests_survived"));
+    }
+
+    #[test]
+    fn fabric_columns_travel_as_a_validated_group() {
+        let report = |extra: &str| {
+            format!(
+                r#"{{"experiment": "chaos", "seed": 0, "threads": 2, "runs": [
+                    {{"name": "chaos/fabric/4", "wall_ms": 12.5, "faults_injected": 30,
+                      "requests_survived": 232, "restarts": 8, "recovery_ns": 18400.5,
+                      "threads": 4{extra}}}]}}"#
+            )
+        };
+        let good = report(
+            r#", "duplicates_injected": 12, "duplicates_suppressed": 12,
+               "breaker_transitions": 5, "degraded_serves": 4, "deadline_misses": 1"#,
+        );
+        assert!(validate_bench_report(&good).is_ok());
+        // A legacy chaos row without any fabric column still validates.
+        assert!(validate_bench_report(&report("")).is_ok());
+        // Claiming one fabric column demands the whole group.
+        let partial = report(r#", "duplicates_injected": 12"#);
+        assert!(validate_bench_report(&partial).unwrap_err().contains("duplicates_suppressed"));
+        // Fractional or negative counts are rejected.
+        let frac = report(
+            r#", "duplicates_injected": 1.5, "duplicates_suppressed": 1,
+               "breaker_transitions": 0, "degraded_serves": 0, "deadline_misses": 0"#,
+        );
+        assert!(validate_bench_report(&frac).unwrap_err().contains("duplicates_injected"));
+        let negative = report(
+            r#", "duplicates_injected": 2, "duplicates_suppressed": 2,
+               "breaker_transitions": 0, "degraded_serves": 0, "deadline_misses": -1"#,
+        );
+        assert!(validate_bench_report(&negative).unwrap_err().contains("deadline_misses"));
+        // Exactly-once must hold on the row's face.
+        let leaky = report(
+            r#", "duplicates_injected": 3, "duplicates_suppressed": 4,
+               "breaker_transitions": 0, "degraded_serves": 0, "deadline_misses": 0"#,
+        );
+        assert!(validate_bench_report(&leaky)
+            .unwrap_err()
+            .contains("cannot suppress more copies than were injected"));
+        // Degraded serves without a breaker transition are a fabricated claim.
+        let phantom = report(
+            r#", "duplicates_injected": 0, "duplicates_suppressed": 0,
+               "breaker_transitions": 0, "degraded_serves": 2, "deadline_misses": 0"#,
+        );
+        assert!(validate_bench_report(&phantom)
+            .unwrap_err()
+            .contains("stale-cache serving requires an open breaker"));
     }
 
     #[test]

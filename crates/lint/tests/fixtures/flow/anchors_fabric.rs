@@ -1,0 +1,8 @@
+//! Flow-fixture anchor: the degraded-serving stale cache, mirroring
+//! `core::fabric::StaleCache` at the item level.
+
+impl StaleCache {
+    pub fn insert(&mut self, lane: u32, point: Point) {
+        let _ = (lane, point);
+    }
+}

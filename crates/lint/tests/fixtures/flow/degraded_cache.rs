@@ -1,0 +1,20 @@
+//! Positive fixture: a true-location top set is written into the
+//! degraded-serving stale cache with no sanitizer on the path. Entries
+//! are replayed to clients while a breaker is open, so the engine must
+//! flag the unsanitized write; the released-candidate path stays quiet.
+impl Router {
+    fn current(&self) -> Vec<ProfileEntry> {
+        self.manager.top_set().to_vec()
+    }
+
+    fn poison(&mut self) {
+        let tops = self.current();
+        StaleCache::insert(&mut self.cache, tops)
+    }
+
+    fn refresh(&mut self) {
+        let tops = self.current();
+        let released = self.module.candidates_for(tops);
+        StaleCache::insert(&mut self.cache, released)
+    }
+}

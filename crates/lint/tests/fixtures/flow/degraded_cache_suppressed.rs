@@ -1,0 +1,14 @@
+//! Suppressed fixture: the same poisoned cache write as
+//! `degraded_cache.rs`, silenced by a justified inline allow.
+
+impl Router {
+    fn current(&self) -> Vec<ProfileEntry> {
+        self.manager.top_set().to_vec()
+    }
+
+    fn poison(&mut self) {
+        let tops = self.current();
+        // lint:allow(location-leak): fixture — the cache is flushed before any breaker can replay it
+        StaleCache::insert(&mut self.cache, tops)
+    }
+}

@@ -19,6 +19,7 @@ const ANCHORS: &[(&str, &str)] = &[
     ("crates/core/src/management.rs", include_str!("fixtures/flow/anchors_management.rs")),
     ("crates/core/src/protocol.rs", include_str!("fixtures/flow/anchors_protocol.rs")),
     ("crates/core/src/obfuscation.rs", include_str!("fixtures/flow/anchors_obfuscation.rs")),
+    ("crates/core/src/fabric.rs", include_str!("fixtures/flow/anchors_fabric.rs")),
     ("crates/geo/src/rng.rs", include_str!("fixtures/flow/anchors_rng.rs")),
 ];
 
@@ -89,6 +90,38 @@ fn location_leak_is_quiet_when_sanitized_or_suppressed() {
 
     let findings =
         flow_lint(path, include_str!("fixtures/flow/location_leak_suppressed.rs"));
+    assert_quiet(&findings);
+    assert!(findings.iter().any(|f| f.rule == "location-leak" && !f.is_active()));
+}
+
+#[test]
+fn degraded_cache_sink_catches_unsanitized_inserts() {
+    let path = "crates/core/src/fx_degraded.rs";
+    let findings = flow_lint(path, include_str!("fixtures/flow/degraded_cache.rs"));
+    let leaks = active(&findings, "location-leak");
+    assert_eq!(leaks.len(), 1, "{findings:?}");
+    let f = leaks[0];
+    assert_eq!(f.file, path);
+    assert_eq!(f.line, 12, "finding must sit on the poisoned cache write");
+    // The witness walks from the true-location accessor into the cache.
+    for hop in [
+        "`LocationManager::top_set` (crates/core/src/management.rs:5)",
+        "`StaleCache::insert` (crates/core/src/fabric.rs:5)",
+    ] {
+        assert!(f.message.contains(hop), "missing hop {hop:?} in {:?}", f.message);
+    }
+    // The `refresh` path runs the same top set through the obfuscation
+    // boundary first — only released candidates reach the cache, so the
+    // sanitized insert on line 18 must stay quiet.
+    assert!(!leaks.iter().any(|f| f.line > 13), "{leaks:?}");
+}
+
+#[test]
+fn degraded_cache_sink_is_quiet_when_suppressed() {
+    let findings = flow_lint(
+        "crates/core/src/fx_degraded.rs",
+        include_str!("fixtures/flow/degraded_cache_suppressed.rs"),
+    );
     assert_quiet(&findings);
     assert!(findings.iter().any(|f| f.rule == "location-leak" && !f.is_active()));
 }

@@ -85,6 +85,26 @@ grep -q 'survival contract held' "$smoke_dir/chaos.out"
 grep -q '"chaos/worker_kill/2": {"counters"' "$smoke_dir/BENCH_chaos.json"
 grep -q '"server.restarts"' "$smoke_dir/BENCH_chaos.json"
 grep -q 'privacy ledger audit: .* zero double-spends' "$smoke_dir/chaos.out"
+# Fabric rows: the faulty-link sweep (drop+duplicate+delay+corrupt+kill)
+# survives bit-for-bit at 1/4/16 shards, and the degraded ladder walks
+# the breaker while serving only stale *released* locations.
+grep -q 'chaos/fabric/1' "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/fabric/16' "$smoke_dir/BENCH_chaos.json"
+grep -q 'chaos/degraded/2' "$smoke_dir/BENCH_chaos.json"
+grep -q '"duplicates_suppressed"' "$smoke_dir/BENCH_chaos.json"
+grep -q '"breaker_transitions"' "$smoke_dir/BENCH_chaos.json"
+grep -q '"deadline_misses"' "$smoke_dir/BENCH_chaos.json"
+
+echo "==> bench chaos (1k-user fleet smoke)"
+# The same survival contract at a fleet size where the round-robin
+# partition actually spreads load: exactly-once duplicate suppression
+# and the cross-shard bit-for-bit checks are asserted in-process.
+./target/release/chaos \
+    --users 1000 --checkins 6 --requests 4 --kills 2 --corruptions 4 --threads 4 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_chaos_1k.json" >"$smoke_dir/chaos_1k.out"
+./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_chaos_1k.json"
+grep -q 'chaos/fabric/4' "$smoke_dir/BENCH_chaos_1k.json"
+grep -q 'survival contract held' "$smoke_dir/chaos_1k.out"
 
 echo "==> bench microbench (smoke, reduced sizes)"
 # Shape/determinism only — no wall-clock or ratio gate: the CI container
