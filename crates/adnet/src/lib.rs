@@ -42,6 +42,7 @@
 mod areas;
 mod campaign;
 mod error;
+pub mod exchange;
 pub mod inventory;
 mod network;
 pub mod platforms;
@@ -51,6 +52,7 @@ mod serving;
 pub use areas::AreaGrid;
 pub use campaign::{Campaign, CampaignId, Targeting};
 pub use error::AdError;
+pub use exchange::BidExchange;
 pub use network::{AdNetwork, AuctionOutcome};
 pub use rtb::{BidLog, BidLogEntry, BidRequest, DeviceId, WireError};
 pub use serving::{ServingLedger, ServingPolicy, ServingState};

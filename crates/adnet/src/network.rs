@@ -143,6 +143,45 @@ impl AdNetwork {
         outcome
     }
 
+    /// Serves one OpenRTB-lite request end-to-end: the auction runs at the
+    /// request's reported geo with the requesting device's ledger
+    /// eligibility, spend and frequency caps are recorded exactly as for
+    /// [`AdNetwork::serve`], and the outcome comes back as a codec
+    /// [`BidResponse`](privlocad_openrtb::BidResponse) echoing the request
+    /// id.
+    ///
+    /// Prices cross the wire in integer micro-units
+    /// (`round(cpm × 1e6)`), so exchange-log digests never depend on float
+    /// formatting.
+    pub fn serve_exchange(
+        &mut self,
+        request: &privlocad_openrtb::BidRequest,
+    ) -> privlocad_openrtb::BidResponse {
+        let legacy = BidRequest {
+            device: request.device.id,
+            location: request.device.geo.point(),
+            // The codec carries a per-device sequence number instead of
+            // wall time; reuse it as the log timestamp so per-device
+            // ordering survives in the legacy transaction log.
+            timestamp: request.seq as i64,
+        };
+        match self.serve(legacy) {
+            None => privlocad_openrtb::BidResponse::no_bid(request.id),
+            Some(o) => {
+                let seat = o.winner.id().raw();
+                let bid = privlocad_openrtb::Bid {
+                    imp: request.imp.id,
+                    price_micros: (o.price * 1e6).round() as u64,
+                    adm: privlocad_openrtb::fnv1a64(&seat.to_be_bytes()),
+                };
+                privlocad_openrtb::BidResponse::win(
+                    request.id,
+                    privlocad_openrtb::SeatBid { seat, bid },
+                )
+            }
+        }
+    }
+
     /// The accumulated transaction log.
     pub fn log(&self) -> &BidLog {
         &self.log
@@ -307,6 +346,28 @@ mod tests {
         };
         assert!(net.serve(other).is_some(), "other devices still served");
         assert_eq!(net.serving_state(CampaignId::new(0)).total_impressions(), 2);
+    }
+
+    #[test]
+    fn serve_exchange_mirrors_the_legacy_auction() {
+        use privlocad_openrtb::{DeviceId as Did, Geo};
+        let mut net = AdNetwork::new(vec![
+            radius_campaign(0, 0.0, 5_000.0, 8.0),
+            radius_campaign(1, 0.0, 5_000.0, 5.0),
+        ]);
+        let request =
+            privlocad_openrtb::BidRequest::new(Did::new(1), 0, Geo { x: 100.0, y: 0.0 });
+        let response = net.serve_exchange(&request);
+        assert_eq!(response.id, request.id);
+        let sb = response.seatbid.unwrap();
+        assert_eq!(sb.seat, 0, "highest bidder wins");
+        assert_eq!(sb.bid.price_micros, 5_000_000, "pays the second price in micros");
+        assert_eq!(net.serving_state(CampaignId::new(0)).total_impressions(), 1);
+        assert_eq!(net.log().len(), 1, "legacy transaction log still appended");
+        let far =
+            privlocad_openrtb::BidRequest::new(Did::new(1), 1, Geo { x: 50_000.0, y: 0.0 });
+        assert!(!net.serve_exchange(&far).is_win(), "out of radius is a no-bid");
+        assert_eq!(net.log().len(), 2);
     }
 
     #[test]

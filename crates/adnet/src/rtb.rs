@@ -1,34 +1,18 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use privlocad_geo::Point;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use crate::CampaignId;
 
 /// The advertising identifier of a device (Android ID / IDFA in the paper's
 /// attack model) — the stable key that lets a longitudinal attacker link
 /// bid requests of the same user over years.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct DeviceId(u64);
-
-impl DeviceId {
-    /// Creates a device id.
-    pub const fn new(id: u64) -> Self {
-        DeviceId(id)
-    }
-
-    /// The raw numeric id.
-    pub const fn raw(self) -> u64 {
-        self.0
-    }
-}
-
-impl std::fmt::Display for DeviceId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "device-{:016x}", self.0)
-    }
-}
+///
+/// The type itself lives in `privlocad-openrtb` (it is a wire concept shared
+/// with the OpenRTB-lite codec); this re-export keeps every existing adnet
+/// consumer compiling unchanged.
+pub use privlocad_openrtb::DeviceId;
 
 /// A real-time-bidding request as seen by the ad network: device id, the
 /// *reported* (possibly obfuscated) location, and a timestamp in seconds.
@@ -123,6 +107,10 @@ pub struct BidLogEntry {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BidLog {
     entries: Vec<BidLogEntry>,
+    /// Entry ordinals per device, maintained on push — [`BidLog::
+    /// locations_of`] and [`BidLog::devices`] answer from this index instead
+    /// of rescanning the whole log per device.
+    by_device: BTreeMap<u64, Vec<usize>>,
 }
 
 impl BidLog {
@@ -133,6 +121,10 @@ impl BidLog {
 
     /// Appends a transaction.
     pub fn push(&mut self, entry: BidLogEntry) {
+        self.by_device
+            .entry(entry.request.device.raw())
+            .or_default()
+            .push(self.entries.len());
         self.entries.push(entry);
     }
 
@@ -153,32 +145,37 @@ impl BidLog {
 
     /// The reported locations of one device, in arrival order — the
     /// attacker's per-victim observation sequence.
+    ///
+    /// One index lookup plus one gather; the per-device ordinal lists are
+    /// built on push, so this never rescans the whole log.
     pub fn locations_of(&self, device: DeviceId) -> Vec<Point> {
-        self.entries
-            .iter()
-            .filter(|e| e.request.device == device)
-            .map(|e| e.request.location)
-            .collect()
+        self.by_device
+            .get(&device.raw())
+            .map(|ordinals| {
+                ordinals.iter().map(|&i| self.entries[i].request.location).collect()
+            })
+            .unwrap_or_default()
     }
 
-    /// The distinct devices seen in the log.
+    /// The distinct devices seen in the log, ascending — the index key set.
     pub fn devices(&self) -> Vec<DeviceId> {
-        let mut ids: Vec<DeviceId> = self.entries.iter().map(|e| e.request.device).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+        self.by_device.keys().map(|&raw| DeviceId::new(raw)).collect()
     }
 }
 
 impl Extend<BidLogEntry> for BidLog {
     fn extend<T: IntoIterator<Item = BidLogEntry>>(&mut self, iter: T) {
-        self.entries.extend(iter);
+        for entry in iter {
+            self.push(entry);
+        }
     }
 }
 
 impl FromIterator<BidLogEntry> for BidLog {
     fn from_iter<T: IntoIterator<Item = BidLogEntry>>(iter: T) -> Self {
-        BidLog { entries: iter.into_iter().collect() }
+        let mut log = BidLog::new();
+        log.extend(iter);
+        log
     }
 }
 
@@ -249,5 +246,28 @@ mod tests {
     #[test]
     fn device_display_is_hex() {
         assert_eq!(DeviceId::new(255).to_string(), "device-00000000000000ff");
+    }
+
+    #[test]
+    fn index_tracks_every_construction_path() {
+        // push, extend and collect must all maintain the per-device index;
+        // arrival order within a device is what the attacker consumes.
+        let mut pushed = BidLog::new();
+        for e in [entry(2, 1.0, 0), entry(1, 2.0, 1), entry(2, 3.0, 2)] {
+            pushed.push(e);
+        }
+        let mut extended = BidLog::new();
+        extended.extend([entry(2, 1.0, 0), entry(1, 2.0, 1), entry(2, 3.0, 2)]);
+        let collected: BidLog =
+            [entry(2, 1.0, 0), entry(1, 2.0, 1), entry(2, 3.0, 2)].into_iter().collect();
+        for log in [&pushed, &extended, &collected] {
+            assert_eq!(log.devices(), vec![DeviceId::new(1), DeviceId::new(2)]);
+            assert_eq!(
+                log.locations_of(DeviceId::new(2)),
+                vec![Point::new(1.0, 0.0), Point::new(3.0, 0.0)]
+            );
+        }
+        assert_eq!(pushed, extended);
+        assert_eq!(pushed, collected);
     }
 }

@@ -48,6 +48,7 @@
 mod clustering;
 mod deobfuscation;
 pub mod evaluation;
+pub mod exchange;
 mod online;
 pub mod patterns;
 mod profiling;
@@ -55,5 +56,6 @@ pub mod semantics;
 
 pub use clustering::{connectivity_clusters, connectivity_clusters_with, Cluster, ClusterScratch};
 pub use deobfuscation::{AttackConfig, AttackScratch, DeobfuscationAttack, InferredLocation};
+pub use exchange::ExchangeObservations;
 pub use online::OnlineAttack;
 pub use profiling::{LocationProfile, ProfileEntry};

@@ -1,0 +1,266 @@
+//! The OpenRTB-lite auction-pipeline benchmark driver.
+//!
+//! ```text
+//! Usage: auction [options]
+//!
+//! Options:
+//!   --users N        fleet size (default 64)
+//!   --checkins N     check-ins replayed per user (default 160, 0 = full trace)
+//!   --campaigns N    marketplace size (default 400)
+//!   --kills N        worker kills per shard in the fault run (default 2)
+//!   --seed N         master seed (default 0)
+//!   --bench-json F   benchmark log to append the auction row to
+//!                    (default BENCH_repro.json in the working directory)
+//! ```
+//!
+//! The `auction/exchange` row is appended to the existing benchmark log
+//! (replacing any earlier `auction/...` rows, so reruns never accumulate)
+//! and the merged document is re-validated with the same schema check that
+//! `privlocad-lint --bench-json` applies in CI.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privlocad_bench::auction::{self, AuctionRow, Config};
+use privlocad_lint::json::{parse, render, validate_bench_report, Json};
+
+#[derive(Debug, Clone)]
+struct Options {
+    config: Config,
+    bench_json: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: auction [--users N] [--checkins N] [--campaigns N] [--kills N] [--seed N] \
+     [--bench-json FILE]"
+}
+
+fn num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} {v}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { config: Config::default(), bench_json: PathBuf::from("BENCH_repro.json") };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => opts.config.users = num(&mut it, "--users")?.max(1),
+            "--checkins" => opts.config.checkins = num(&mut it, "--checkins")?,
+            "--campaigns" => opts.config.campaigns = num(&mut it, "--campaigns")?.max(1),
+            "--kills" => opts.config.kills = num(&mut it, "--kills")?.max(1),
+            "--seed" => opts.config.seed = num(&mut it, "--seed")? as u64,
+            "--bench-json" => {
+                let v = it.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn row_to_json(row: &AuctionRow) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_owned(), Json::Str(row.name.clone()));
+    obj.insert("wall_ms".to_owned(), Json::Num(row.wall_ms));
+    obj.insert("auctions_per_sec".to_owned(), Json::Num(row.auctions_per_sec));
+    obj.insert("decode_ns_per_req".to_owned(), Json::Num(row.decode_ns_per_req));
+    obj.insert("serve_overhead_pct".to_owned(), Json::Num(row.serve_overhead_pct));
+    obj.insert("revenue_micros".to_owned(), Json::Num(row.revenue_micros as f64));
+    obj.insert("attack_success_live".to_owned(), Json::Num(row.attack_success_live));
+    obj.insert(
+        "attack_success_synthetic".to_owned(),
+        Json::Num(row.attack_success_synthetic),
+    );
+    obj.insert("users".to_owned(), Json::Num(row.users as f64));
+    obj.insert("requests".to_owned(), Json::Num(row.requests as f64));
+    obj.insert("shards".to_owned(), Json::Num(row.shards as f64));
+    obj.insert("digest".to_owned(), Json::Str(row.digest.clone()));
+    Json::Obj(obj)
+}
+
+/// Loads the benchmark log (or starts a fresh one), drops any stale
+/// `auction/...` rows, appends the new row plus the exchange telemetry
+/// hub, and returns the merged document.
+fn merge_log(
+    existing: Option<&str>,
+    opts: &Options,
+    row: &AuctionRow,
+    telemetry_json: &str,
+) -> Result<Json, String> {
+    let mut doc = match existing {
+        Some(text) => parse(text)?,
+        None => {
+            let mut obj = BTreeMap::new();
+            obj.insert("experiment".to_owned(), Json::Str("auction".to_owned()));
+            obj.insert("seed".to_owned(), Json::Num(opts.config.seed as f64));
+            obj.insert("threads".to_owned(), Json::Num(1.0));
+            obj.insert("runs".to_owned(), Json::Arr(Vec::new()));
+            Json::Obj(obj)
+        }
+    };
+    let Json::Obj(obj) = &mut doc else {
+        return Err("benchmark log root is not an object".to_owned());
+    };
+    let Some(Json::Arr(runs)) = obj.get_mut("runs") else {
+        return Err("benchmark log has no `runs` array".to_owned());
+    };
+    runs.retain(|run| {
+        !matches!(run.get("name").and_then(Json::as_str), Some(n) if n.starts_with("auction/"))
+    });
+    runs.push(row_to_json(row));
+    let telemetry = obj.entry("telemetry".to_owned()).or_insert_with(|| Json::Obj(BTreeMap::new()));
+    let Json::Obj(sections) = telemetry else {
+        return Err("benchmark log `telemetry` is not an object".to_owned());
+    };
+    sections.insert("auction".to_owned(), parse(telemetry_json)?);
+    Ok(doc)
+}
+
+fn write_log(opts: &Options, row: &AuctionRow, telemetry_json: &str) -> Result<(), String> {
+    let existing = std::fs::read_to_string(&opts.bench_json).ok();
+    let doc = merge_log(existing.as_deref(), opts, row, telemetry_json)?;
+    let text = render(&doc);
+    validate_bench_report(&text)?;
+    std::fs::write(&opts.bench_json, &text)
+        .map_err(|e| format!("cannot write {}: {e}", opts.bench_json.display()))?;
+    println!("[bench] wrote {}", opts.bench_json.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = auction::run(&opts.config);
+    print!("{}", out.table().render());
+    println!(
+        "\ndeterminism: exchange log {} across {} fleet runs ({})",
+        if out.digests_agree() { "bit-identical" } else { "DIVERGED" },
+        out.digests.len(),
+        out.digests
+            .iter()
+            .map(|(label, _)| label.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    println!(
+        "codec: decode {:.1} ns/req = {:.2}% of one request through the live serving loop \
+         (acceptance ceiling: 10%)",
+        out.row.decode_ns_per_req, out.row.serve_overhead_pct
+    );
+    println!(
+        "attack: top-1 within 500 m — live exchange log {:.1}%, synthetic simulation {:.1}%",
+        out.row.attack_success_live * 100.0,
+        out.row.attack_success_synthetic * 100.0
+    );
+    if !out.digests_agree() {
+        eprintln!("[bench] exchange logs diverged across fleet runs");
+        return ExitCode::FAILURE;
+    }
+    if out.row.serve_overhead_pct >= 10.0 {
+        eprintln!(
+            "[bench] codec gate failed: decode overhead {:.2}% >= 10%",
+            out.row.serve_overhead_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_log(&opts, &out.row, &out.telemetry.to_json()) {
+        eprintln!("[bench] {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn row() -> AuctionRow {
+        AuctionRow {
+            name: "auction/exchange".to_owned(),
+            wall_ms: 900.0,
+            auctions_per_sec: 250_000.0,
+            decode_ns_per_req: 14.0,
+            serve_overhead_pct: 1.2,
+            revenue_micros: 123_456_789,
+            attack_success_live: 0.02,
+            attack_success_synthetic: 0.03,
+            users: 64,
+            requests: 10_240,
+            shards: 16,
+            digest: "00f00ba900f00ba9".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config.users, 64);
+        assert_eq!(o.bench_json, PathBuf::from("BENCH_repro.json"));
+        let o = parse_args(&args(
+            "--users 8 --checkins 50 --campaigns 90 --kills 3 --seed 9 --bench-json a.json",
+        ))
+        .unwrap();
+        assert_eq!((o.config.users, o.config.checkins, o.config.campaigns), (8, 50, 90));
+        assert_eq!((o.config.kills, o.config.seed), (3, 9));
+        assert_eq!(o.bench_json, PathBuf::from("a.json"));
+        assert!(parse_args(&args("--wat")).unwrap_err().contains("unknown option"));
+        assert!(parse_args(&args("--users x")).unwrap_err().contains("bad --users"));
+    }
+
+    #[test]
+    fn merge_replaces_stale_auction_rows_and_validates() {
+        let opts = parse_args(&[]).unwrap();
+        let existing = r#"{"experiment": "all", "seed": 0, "threads": 2, "runs": [
+            {"name": "fig9", "wall_ms": 80.0, "threads": 2, "users": null, "trials": 100},
+            {"name": "auction/exchange", "wall_ms": 1.0, "auctions_per_sec": 1.0,
+             "decode_ns_per_req": 1.0, "serve_overhead_pct": 1.0, "revenue_micros": 1,
+             "attack_success_live": 0.5, "attack_success_synthetic": 0.5,
+             "users": 1, "requests": 1, "shards": 1, "digest": "aa"}
+        ]}"#;
+        let hub = privlocad_telemetry::Telemetry::new();
+        hub.registry()
+            .counter("rtb.bid_requests", privlocad_telemetry::Determinism::Deterministic)
+            .add(9);
+        let doc = merge_log(Some(existing), &opts, &row(), &hub.to_json()).unwrap();
+        let runs = match doc.get("runs") {
+            Some(Json::Arr(runs)) => runs,
+            other => panic!("runs missing: {other:?}"),
+        };
+        let names: Vec<_> =
+            runs.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, ["fig9", "auction/exchange"]);
+        let fresh = runs.last().unwrap();
+        assert_eq!(fresh.get("requests").and_then(Json::as_num), Some(10_240.0));
+        let section = doc.get("telemetry").and_then(|t| t.get("auction")).expect("auction hub");
+        assert_eq!(
+            section
+                .get("counters")
+                .and_then(|c| c.get("rtb.bid_requests"))
+                .and_then(Json::as_num),
+            Some(9.0)
+        );
+        validate_bench_report(&render(&doc)).expect("merged log must validate");
+    }
+
+    #[test]
+    fn fresh_log_carries_the_required_header() {
+        let opts = parse_args(&args("--seed 5")).unwrap();
+        let hub = privlocad_telemetry::Telemetry::new();
+        let doc = merge_log(None, &opts, &row(), &hub.to_json()).unwrap();
+        validate_bench_report(&render(&doc)).expect("fresh log must validate");
+    }
+}

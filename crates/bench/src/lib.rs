@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auction;
 pub mod candgen;
 pub mod chaos;
 pub mod fig2;

@@ -368,6 +368,16 @@ pub struct ServerOptions {
     /// with the recovery error; clients observe a disconnect), never
     /// silently serves from empty state.
     pub restore_from: Option<Bytes>,
+    /// Where served ad requests are emitted as OpenRTB-lite bid requests.
+    /// `None` (the default) serves without a bid pipeline. The sink is
+    /// shared — hand every shard of a fleet a clone of one `Arc` — and it
+    /// outlives individual workers, so per-device sequence numbers stay
+    /// continuous across restarts and fabric heals. Emission happens in
+    /// the commit phase, strictly after the checkpoint, giving each
+    /// *applied* request exactly one bid (duplicates and rolled-back
+    /// batches never emit); only the released obfuscated candidate from
+    /// the response crosses into the sink.
+    pub bid_sink: Option<Arc<privlocad_openrtb::BidSink>>,
 }
 
 impl Default for ServerOptions {
@@ -383,6 +393,7 @@ impl Default for ServerOptions {
             telemetry: Telemetry::new(),
             dedup_window: 32,
             restore_from: None,
+            bid_sink: None,
         }
     }
 }
@@ -959,6 +970,14 @@ fn serve(
         // undelivered ledger events together with the device state they
         // described, keeping budget-spend delivery exactly-once.
         edge.drain_telemetry(&telemetry);
+        // Bid emission shares the same post-commit slot and therefore the
+        // same exactly-once guarantee: `requests`/`responses` are parallel
+        // and hold only the non-duplicate requests this batch *applied*
+        // (replays and same-batch duplicates never enter them; a killed
+        // batch rolls back before reaching here).
+        if let Some(sink) = options.bid_sink.as_ref() {
+            emit_bids(sink, &requests, &responses);
+        }
 
         // One encode block per wakeup: every response frame lands in
         // `frame_buf`, is frozen into a single shared allocation, and each
@@ -1063,6 +1082,34 @@ fn restore_checkpoint(
     Ok(())
 }
 
+/// Emits one OpenRTB-lite bid request per applied ad request in a
+/// committed batch. `requests` and `responses` are the serving loop's
+/// parallel vectors, so the `(request, response)` pairs line up
+/// one-to-one; only `RequestLocation` entries answered with a
+/// `ReportedLocation` produce a bid, and the coordinate that crosses into
+/// the sink is the *released* obfuscated candidate out of the response —
+/// never the true position. The sink assigns the per-device sequence
+/// number (submission count), which the per-user in-order serving
+/// contract makes invariant to the user→shard partition.
+fn emit_bids(
+    sink: &privlocad_openrtb::BidSink,
+    requests: &[ClientRequest],
+    responses: &[EdgeResponse],
+) {
+    for (request, response) in requests.iter().zip(responses) {
+        if let (
+            ClientRequest::RequestLocation { user, .. },
+            EdgeResponse::ReportedLocation { location },
+        ) = (request, response)
+        {
+            sink.submit(
+                privlocad_openrtb::DeviceId::new(u64::from(user.raw())),
+                privlocad_openrtb::Geo::from_point(*location),
+            );
+        }
+    }
+}
+
 /// Fails pending replies with an explicit error frame instead of leaving
 /// the clients hanging on dead channels.
 fn fail_replies(
@@ -1120,6 +1167,38 @@ mod tests {
         let edge = server.join().unwrap();
         assert_eq!(edge.user_count(), 1);
         assert!(edge.candidates(user, home).unwrap().contains(&reported));
+    }
+
+    #[test]
+    fn bid_sink_gets_exactly_one_released_location_per_ad_request() {
+        let sink = Arc::new(privlocad_openrtb::BidSink::new());
+        let (server, handle) = spawn_with(ServerOptions {
+            bid_sink: Some(Arc::clone(&sink)),
+            ..ServerOptions::default()
+        });
+        let user = UserId::new(3);
+        let home = Point::new(10.0, 20.0);
+        for t in 0..40 {
+            handle.check_in(user, home, t).unwrap();
+        }
+        handle.finalize_window(user).unwrap();
+        let first = handle.request_location(user, home).unwrap();
+        let second = handle.request_location(user, home).unwrap();
+        handle.shutdown().unwrap();
+        server.join().unwrap();
+        // Check-ins and window closes emit nothing; the two ad requests
+        // emit exactly one bid each, carrying the released candidate the
+        // client saw — never the true check-in position.
+        let pending = sink.drain();
+        assert_eq!(pending.len(), 2);
+        for (bid, reported) in pending.iter().zip([first, second]) {
+            let (decoded, _) = privlocad_openrtb::BidRequest::decode(&bid.frame).unwrap();
+            assert_eq!(decoded.device.id.raw(), 3);
+            assert_eq!(decoded.device.geo.point(), reported);
+            assert_ne!(decoded.device.geo.point(), home);
+        }
+        assert_eq!(pending[0].seq, 0);
+        assert_eq!(pending[1].seq, 1);
     }
 
     #[test]

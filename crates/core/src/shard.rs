@@ -114,6 +114,29 @@ impl ShardRouter {
         ShardRouter::spawn_with(config, master, options)
     }
 
+    /// [`ShardRouter::spawn`] with every shard submitting served ad
+    /// requests into one shared OpenRTB-lite bid sink
+    /// ([`crate::ServerOptions::bid_sink`]). The sink outlives the
+    /// shards, so per-device bid sequences are continuous across worker
+    /// restarts, and — with per-user streams forced on — the emitted
+    /// stream is invariant to the shard count.
+    pub fn spawn_with_sink(
+        config: SystemConfig,
+        master: u64,
+        shards: usize,
+        sink: std::sync::Arc<privlocad_openrtb::BidSink>,
+    ) -> ShardRouter {
+        let hub = Telemetry::new();
+        let options = (0..shards.max(1))
+            .map(|_| ServerOptions {
+                telemetry: hub.clone(),
+                bid_sink: Some(std::sync::Arc::clone(&sink)),
+                ..ServerOptions::default()
+            })
+            .collect();
+        ShardRouter::spawn_with(config, master, options)
+    }
+
     /// [`ShardRouter::spawn`] with explicit per-shard options — fault
     /// plans, queue capacities, or a caller-owned hub. One shard is
     /// spawned per entry (at least one entry required, panics on an

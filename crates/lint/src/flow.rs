@@ -126,6 +126,11 @@ const SINKS: &[FnPat] = &[
     pat(Some("adnet"), Some("AdNetwork"), "serve"),
     pat(Some("adnet"), Some("AdNetwork"), "auction"),
     pat(Some("adnet"), Some("BidLog"), "push"),
+    // The OpenRTB-lite bid emission path: a location submitted to the sink is
+    // framed and shipped to the ad exchange verbatim, so both the sink
+    // hand-off and the wire encoder are egress points.
+    pat(Some("openrtb"), Some("BidSink"), "submit"),
+    pat(Some("openrtb"), Some("BidRequest"), "encode"),
     pat(Some("telemetry"), None, "deterministic_json"),
     pat(Some("telemetry"), None, "to_json"),
 ];
@@ -777,6 +782,38 @@ mod tests {
         assert!(msg.contains("`Device::current`"), "{msg}");
         assert!(msg.contains("`Device::handle`"), "{msg}");
         assert!(msg.contains("`Device::ship`"), "{msg}");
+    }
+
+    #[test]
+    fn bid_emission_is_a_wire_sink() {
+        let sink = (
+            "crates/openrtb/src/sink.rs",
+            "impl BidSink {\n    pub fn submit(&self, device: DeviceId, geo: Geo) -> u64 {\n        0\n    }\n}\n",
+        );
+        // A true top location handed straight to the bid sink is a leak...
+        let findings = analyze_mini(&[
+            sink,
+            (
+                "crates/core/src/bid_leak.rs",
+                "impl Device {\n    fn emit(&self) {\n        let top = self.manager.top_set();\n        self.sink.submit(id, top)\n    }\n}\n",
+            ),
+        ]);
+        let leaks: Vec<&Finding> =
+            findings.iter().filter(|f| f.rule == "location-leak").collect();
+        assert_eq!(leaks.len(), 1, "findings: {findings:?}");
+        assert!(leaks[0].message.contains("`BidSink::submit`"), "{}", leaks[0].message);
+        // ...while the served (obfuscated) location may be bid on freely.
+        let findings = analyze_mini(&[
+            sink,
+            (
+                "crates/core/src/bid_ok.rs",
+                "impl Device {\n    fn emit(&self) {\n        let top = self.manager.top_set();\n        let c = self.module.candidates_for(top);\n        self.sink.submit(id, c)\n    }\n}\n",
+            ),
+        ]);
+        assert!(
+            findings.iter().all(|f| f.rule != "location-leak"),
+            "findings: {findings:?}"
+        );
     }
 
     #[test]

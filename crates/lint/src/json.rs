@@ -310,6 +310,7 @@ pub fn validate_bench_report(text: &str) -> Result<(), String> {
         validate_chaos_row(i, name, run)?;
         validate_microbench_row(i, name, run)?;
         validate_lint_row(i, name, run)?;
+        validate_auction_row(i, name, run)?;
     }
     if let Some(telemetry) = doc.get("telemetry") {
         validate_telemetry_section(telemetry)?;
@@ -670,6 +671,81 @@ fn validate_lint_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the bid-pipeline row appended by `bench auction`: any run
+/// named `auction/...` — and, symmetrically, any run that claims an
+/// `auctions_per_sec` figure — must carry the full exchange record
+/// (`auctions_per_sec` > 0, `decode_ns_per_req` > 0, finite
+/// `serve_overhead_pct` ≥ 0, integral `revenue_micros` ≥ 0, both attacker
+/// columns in [0, 1], integral `users`/`requests`/`shards` ≥ 1, and a
+/// non-empty `digest`), so the live pipeline's throughput is never
+/// published without the codec cost, the revenue it settled, and the
+/// live-vs-synthetic attacker comparison that justifies replacing the
+/// synthetic log.
+fn validate_auction_row(i: usize, name: &str, run: &Json) -> Result<(), String> {
+    let is_auction = name == "auction" || name.starts_with("auction/");
+    let has_aps = run.get("auctions_per_sec").is_some();
+    if !is_auction && !has_aps {
+        return Ok(());
+    }
+    for key in ["auctions_per_sec", "decode_ns_per_req"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("runs[{i}] (`{name}`) has non-positive `{key}` {v}"));
+        }
+    }
+    let overhead = run
+        .get("serve_overhead_pct")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `serve_overhead_pct`"))?;
+    if !overhead.is_finite() || overhead < 0.0 {
+        return Err(format!(
+            "runs[{i}] (`{name}`) has invalid `serve_overhead_pct` {overhead} (want finite >= 0)"
+        ));
+    }
+    let revenue = run
+        .get("revenue_micros")
+        .and_then(Json::as_num)
+        .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `revenue_micros`"))?;
+    // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+    if revenue.fract() != 0.0 || revenue < 0.0 {
+        return Err(format!(
+            "runs[{i}] (`{name}`) has invalid `revenue_micros` {revenue} (want integer >= 0)"
+        ));
+    }
+    for key in ["attack_success_live", "attack_success_synthetic"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "runs[{i}] (`{name}`) has invalid `{key}` {v} (want a rate in [0, 1])"
+            ));
+        }
+    }
+    for key in ["users", "requests", "shards"] {
+        let v = run
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or(format!("runs[{i}] (`{name}`) missing numeric key `{key}`"))?;
+        // lint:allow(float-eq): exact integrality test — fract() of an integral f64 is exactly 0.0
+        if v.fract() != 0.0 || v < 1.0 {
+            return Err(format!("runs[{i}] (`{name}`) has invalid `{key}` {v} (want integer >= 1)"));
+        }
+    }
+    let digest = run
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or(format!("runs[{i}] (`{name}`) missing string key `digest`"))?;
+    if digest.is_empty() {
+        return Err(format!("runs[{i}] (`{name}`) has an empty `digest`"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,6 +914,60 @@ mod tests {
         // Any row claiming faults_injected needs the record, chaos-named or not.
         let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "faults_injected": 3}"#);
         assert!(validate_bench_report(&sneaky).unwrap_err().contains("requests_survived"));
+    }
+
+    #[test]
+    fn auction_rows_require_the_full_exchange_record() {
+        let report = |row: &str| {
+            format!(r#"{{"experiment": "auction", "seed": 0, "threads": 1, "runs": [{row}]}}"#)
+        };
+        let base = |patch: &str| {
+            report(&format!(
+                r#"{{"name": "auction/exchange", "wall_ms": 900.0, "auctions_per_sec": 2.5e5,
+                    "decode_ns_per_req": 14.2, "serve_overhead_pct": 1.2,
+                    "revenue_micros": 123456789, "attack_success_live": 0.02,
+                    "attack_success_synthetic": 0.03, "users": 64, "requests": 10240,
+                    "shards": 16, "digest": "00f00ba900f00ba9"{patch}}}"#
+            ))
+        };
+        assert!(validate_bench_report(&base("")).is_ok());
+        // An auction row missing its record is rejected...
+        let missing = report(r#"{"name": "auction/exchange", "wall_ms": 1.0}"#);
+        assert!(validate_bench_report(&missing).unwrap_err().contains("auctions_per_sec"));
+        let no_decode = report(
+            r#"{"name": "auction/exchange", "wall_ms": 1.0, "auctions_per_sec": 10.0}"#,
+        );
+        assert!(validate_bench_report(&no_decode).unwrap_err().contains("decode_ns_per_req"));
+        // ...as are nonsense values.
+        assert!(validate_bench_report(&base(r#", "auctions_per_sec": 0"#))
+            .unwrap_err()
+            .contains("auctions_per_sec"));
+        assert!(validate_bench_report(&base(r#", "decode_ns_per_req": -3"#))
+            .unwrap_err()
+            .contains("decode_ns_per_req"));
+        assert!(validate_bench_report(&base(r#", "serve_overhead_pct": -0.1"#))
+            .unwrap_err()
+            .contains("serve_overhead_pct"));
+        assert!(validate_bench_report(&base(r#", "revenue_micros": 1.5"#))
+            .unwrap_err()
+            .contains("revenue_micros"));
+        assert!(validate_bench_report(&base(r#", "attack_success_live": 1.2"#))
+            .unwrap_err()
+            .contains("attack_success_live"));
+        assert!(validate_bench_report(&base(r#", "attack_success_synthetic": -0.5"#))
+            .unwrap_err()
+            .contains("attack_success_synthetic"));
+        assert!(validate_bench_report(&base(r#", "shards": 0"#)).unwrap_err().contains("shards"));
+        assert!(validate_bench_report(&base(r#", "requests": 2.5"#))
+            .unwrap_err()
+            .contains("requests"));
+        assert!(validate_bench_report(&base(r#", "digest": """#))
+            .unwrap_err()
+            .contains("digest"));
+        // Any row claiming auctions_per_sec needs the record, auction-named
+        // or not.
+        let sneaky = report(r#"{"name": "other", "wall_ms": 1.0, "auctions_per_sec": 5.0}"#);
+        assert!(validate_bench_report(&sneaky).unwrap_err().contains("decode_ns_per_req"));
     }
 
     #[test]

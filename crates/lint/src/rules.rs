@@ -159,10 +159,10 @@ impl FileContext {
 /// ([`crate::flow`]) share this scope: an RNG stream anywhere in these crates
 /// must trace back to `derive_seed`-derived state.
 pub(crate) const RESULT_PRODUCING: &[&str] =
-    &["geo", "mechanisms", "attack", "adnet", "metrics", "mobility", "core", "bench"];
+    &["geo", "mechanisms", "attack", "adnet", "metrics", "mobility", "core", "bench", "openrtb"];
 
 /// Crates whose library code must stay panic-free (typed errors only).
-const PANIC_FREE: &[&str] = &["geo", "mechanisms", "attack", "core"];
+const PANIC_FREE: &[&str] = &["geo", "mechanisms", "attack", "core", "openrtb"];
 
 /// Crates carrying the supervised serving paths: a channel peer dropping
 /// (client gone, worker restarting) is a *normal* event there, so a

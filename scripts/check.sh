@@ -106,6 +106,27 @@ echo "==> bench chaos (1k-user fleet smoke)"
 grep -q 'chaos/fabric/4' "$smoke_dir/BENCH_chaos_1k.json"
 grep -q 'survival contract held' "$smoke_dir/chaos_1k.out"
 
+echo "==> bench auction (smoke, reduced sizes)"
+# The binary asserts the hard contracts untimed (exchange-log digests
+# bit-identical at 1/4/16 shards and under one kill per shard,
+# commit-phase emission exactly-once) and refuses to write the row if
+# they fail. It also enforces the codec <10 % gate: the ratio is
+# scheduling-dependent, but decode (~56 ns) vs the live serving loop
+# (~µs) leaves >5× headroom even on a shared single core. Full-size
+# numbers live in BENCH_repro.json, regenerated on a quiet host.
+./target/release/auction \
+    --users 6 --checkins 40 --campaigns 60 --kills 1 --seed 1 \
+    --bench-json "$smoke_dir/BENCH_auction.json" >"$smoke_dir/auction.out"
+./target/release/privlocad-lint --root . --bench-json "$smoke_dir/BENCH_auction.json"
+grep -q 'auction/exchange' "$smoke_dir/BENCH_auction.json"
+grep -q '"decode_ns_per_req"' "$smoke_dir/BENCH_auction.json"
+grep -q '"attack_success_live"' "$smoke_dir/BENCH_auction.json"
+grep -q '"attack_success_synthetic"' "$smoke_dir/BENCH_auction.json"
+grep -q '"digest"' "$smoke_dir/BENCH_auction.json"
+grep -q 'determinism: exchange log bit-identical across 4 fleet runs' "$smoke_dir/auction.out"
+# Telemetry smoke: the rtb.* exchange counters land next to the row.
+grep -q '"rtb.bid_requests"' "$smoke_dir/BENCH_auction.json"
+
 echo "==> bench microbench (smoke, reduced sizes)"
 # Shape/determinism only — no wall-clock or ratio gate: the CI container
 # is a shared single core, so the batched-vs-cold speedup at these tiny
